@@ -1,0 +1,162 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each bench runs the 3× congestion + hostCC scenario with one design
+//! parameter changed, timing the run and printing the resulting
+//! throughput/drop outcome once, so `cargo bench --bench ablations`
+//! doubles as the ablation study.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hostcc_experiments::{RunResult, Scenario, Simulation};
+use hostcc_sim::Nanos;
+
+fn quick(mut s: Scenario) -> RunResult {
+    s.warmup = Nanos::from_millis(2);
+    s.measure = Nanos::from_millis(5);
+    Simulation::new(s).run()
+}
+
+fn report(name: &str, r: &RunResult) {
+    eprintln!(
+        "[ablation] {name}: tput={:.1}G drop={:.4}% mean_level={:.2} mba_writes={}",
+        r.goodput_gbps(),
+        r.drop_rate_pct,
+        r.mean_level,
+        r.mba_writes
+    );
+}
+
+/// EWMA weights for I_S: the paper's 1/8 vs a twitchy 1/2 vs a sluggish
+/// 1/64 (§4.1's aggressiveness-vs-delay tradeoff).
+fn bench_ewma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ewma");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, w) in [
+        ("is_w_half", 0.5),
+        ("is_w_eighth", 0.125),
+        ("is_w_64th", 1.0 / 64.0),
+    ] {
+        let make = move || {
+            let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+            if let Some(hc) = &mut s.hostcc {
+                hc.signal.is_weight = w;
+            }
+            s
+        };
+        report(name, &quick(make()));
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(quick(make()).nic_drops))
+        });
+    }
+    g.finish();
+}
+
+/// MBA actuation delay: the measured 22 µs vs an idealized 1 µs MSR write
+/// (§6: "existing tools for host resource allocation are insufficient").
+fn bench_mba_delay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mba_delay");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, us) in [("mba_22us", 22u64), ("mba_1us", 1)] {
+        let make = move || {
+            let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+            s.host.mba_write_latency = Nanos::from_micros(us);
+            s
+        };
+        report(name, &quick(make()));
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(quick(make()).nic_drops))
+        });
+    }
+    g.finish();
+}
+
+/// hostCC sampling period: sub-µs (paper) vs a sluggish 100 µs poller.
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sampling");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, ns) in [
+        ("period_700ns", 700u64),
+        ("period_10us", 10_000),
+        ("period_100us", 100_000),
+    ] {
+        let make = move || {
+            let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+            if let Some(hc) = &mut s.hostcc {
+                hc.signal.period = Nanos::from_nanos(ns);
+            }
+            s
+        };
+        report(name, &quick(make()));
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(quick(make()).nic_drops))
+        });
+    }
+    g.finish();
+}
+
+/// NIC buffer sizing (§2.2: "Isolating NIC buffers does not solve this
+/// problem" — smaller buffers drop more, larger buffers queue more).
+fn bench_nic_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_nic_buffer");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, kib) in [("nic_128KiB", 128u64), ("nic_512KiB", 512), ("nic_2MiB", 2048)] {
+        let make = move || {
+            let mut s = Scenario::with_congestion(3.0); // vanilla DCTCP
+            s.host.nic_buffer_bytes = kib * 1024;
+            s
+        };
+        let r = quick(make());
+        eprintln!(
+            "[ablation] {name}: drop={:.4}% peak_nic_queue≈{:.0}us",
+            r.drop_rate_pct,
+            r.nic_peak_bytes as f64 / 5.4 / 1000.0 // drain ≈ 43 Gbps
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(quick(make()).nic_drops))
+        });
+    }
+    g.finish();
+}
+
+/// Congestion-signal source: the paper's IIO occupancy vs the §6
+/// alternative, NIC buffer occupancy (which asserts only after the domino
+/// effect has reached the NIC).
+fn bench_signal_source(c: &mut Criterion) {
+    use hostcc_core::SignalSource;
+    let mut g = c.benchmark_group("ablation_signal_source");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, source) in [
+        ("signal_iio", SignalSource::IioOccupancy),
+        ("signal_nic_buffer", SignalSource::NicBuffer),
+    ] {
+        let make = move || {
+            let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+            if let Some(hc) = &mut s.hostcc {
+                hc.signal_source = source;
+            }
+            s
+        };
+        let r = quick(make());
+        eprintln!(
+            "[ablation] {name}: tput={:.1}G drop={:.4}% peak_nic_queue={}B",
+            r.goodput_gbps(),
+            r.drop_rate_pct,
+            r.nic_peak_bytes
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(quick(make()).nic_drops))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ewma,
+    bench_mba_delay,
+    bench_sampling,
+    bench_nic_buffer,
+    bench_signal_source
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Engine microbenches: the hot paths that bound how much simulated time a
+//! second of wall clock buys.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hostcc_sim::{EventQueue, Nanos, Rng};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(Nanos::from_nanos(i * 37 % 1000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("rng_throughput_10k", |b| {
+        let mut rng = Rng::new(42);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_host_tick(c: &mut Criterion) {
+    use hostcc_fabric::{FlowId, Packet};
+    use hostcc_host::{HostConfig, RxHost};
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20).measurement_time(Duration::from_secs(3));
+    g.bench_function("rxhost_tick_1ms_congested", |b| {
+        b.iter(|| {
+            let cfg = HostConfig::paper_default();
+            let tick = cfg.tick;
+            let mut h = RxHost::new(cfg, 3.0);
+            let mut now = Nanos::ZERO;
+            let mut id = 0u64;
+            let mut next = Nanos::ZERO;
+            while now < Nanos::from_millis(1) {
+                now += tick;
+                while next <= now {
+                    h.on_wire_arrival(Packet::data(id, FlowId(0), 0, 4030, false, next), next);
+                    id += 1;
+                    next += Nanos::from_nanos(328);
+                }
+                std::hint::black_box(h.tick(now).occupancy_cl);
+            }
+            std::hint::black_box(h.delivered_packets)
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulation_rate(c: &mut Criterion) {
+    use hostcc_experiments::{Scenario, Simulation};
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("full_sim_5ms_hostcc_3x", |b| {
+        b.iter(|| {
+            let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+            s.warmup = Nanos::from_millis(1);
+            s.measure = Nanos::from_millis(4);
+            std::hint::black_box(Simulation::new(s).run().nic_drops)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_host_tick, bench_simulation_rate);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! One bench per paper figure: times the regeneration of each figure's
+//! data at the `quick` budget, so `cargo bench` exercises every harness.
+//!
+//! Full-budget numbers come from
+//! `cargo run --release -p hostcc-experiments --bin repro -- all`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hostcc_experiments::figures::{self, Budget, FigureReport};
+
+type FigFn = fn(&Budget) -> FigureReport;
+
+const FIGS: &[(&str, FigFn)] = &[
+    ("fig02_baseline_congestion", figures::fig2 as FigFn),
+    ("fig03_mtu_flows", figures::fig3),
+    ("fig04_tail_latency", figures::fig4),
+    ("fig07_signal_latency", figures::fig7),
+    ("fig08_signal_timeseries", figures::fig8),
+    ("fig09_mba_levels", figures::fig9),
+    ("fig10_hostcc_benefits", figures::fig10),
+    ("fig11_hostcc_mtu_flows", figures::fig11),
+    ("fig12_hostcc_latency", figures::fig12),
+    ("fig13_incast", figures::fig13),
+    ("fig14_hostcc_ddio", figures::fig14),
+    ("fig15_hostcc_ddio_latency", figures::fig15),
+    ("fig16_bt_sensitivity", figures::fig16),
+    ("fig17_it_sensitivity", figures::fig17),
+    ("fig18_ablation", figures::fig18),
+    ("fig19_steady_state", figures::fig19),
+];
+
+fn bench_figures(c: &mut Criterion) {
+    let budget = Budget::quick();
+    let mut group = c.benchmark_group("figures");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for (name, f) in FIGS {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let report = f(&budget);
+                std::hint::black_box(report.panels.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Echoing host congestion to the network CC via ECN (paper §3.3, §4.3).
+//!
+//! The kernel implementation hooks `ip_recv` through NetFilter and sets the
+//! two ECN bits on datagrams before they reach the transport layer — "does
+//! exactly what today's switches do". Here the experiment driver passes
+//! every packet delivered by the host model through [`EcnEcho::process`]
+//! with the controller's current [`crate::HostCc::should_mark`] decision.
+//! Packets already marked by the fabric pass through unchanged, so host
+//! and network congestion signals merge into a single CE stream.
+
+use hostcc_fabric::Packet;
+use serde::{Deserialize, Serialize};
+
+/// Receiver-side ECN marking with accounting.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EcnEcho {
+    /// Packets this echo marked (excluding already-CE packets).
+    pub host_marks: u64,
+    /// Packets that arrived already CE-marked (fabric marks).
+    pub fabric_marks: u64,
+    /// Packets processed.
+    pub processed: u64,
+}
+
+impl EcnEcho {
+    /// A fresh echo stage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply the marking decision to a delivered packet.
+    pub fn process(&mut self, pkt: &mut Packet, mark: bool) {
+        self.processed += 1;
+        if pkt.ecn.is_ce() {
+            self.fabric_marks += 1;
+            return;
+        }
+        if mark {
+            pkt.mark_ce();
+            self.host_marks += 1;
+        }
+    }
+
+    /// Fraction of processed packets marked by the host echo.
+    pub fn host_mark_fraction(&self) -> f64 {
+        if self.processed == 0 {
+            0.0
+        } else {
+            self.host_marks as f64 / self.processed as f64
+        }
+    }
+
+    /// Reset window counters.
+    pub fn reset_window(&mut self) {
+        *self = EcnEcho::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostcc_fabric::{EcnCodepoint, FlowId};
+    use hostcc_sim::Nanos;
+
+    fn pkt() -> Packet {
+        Packet::data(1, FlowId(0), 0, 1000, false, Nanos::ZERO)
+    }
+
+    #[test]
+    fn marks_when_told() {
+        let mut e = EcnEcho::new();
+        let mut p = pkt();
+        e.process(&mut p, true);
+        assert!(p.ecn.is_ce());
+        assert_eq!(e.host_marks, 1);
+    }
+
+    #[test]
+    fn passes_through_when_not_congested() {
+        let mut e = EcnEcho::new();
+        let mut p = pkt();
+        e.process(&mut p, false);
+        assert!(!p.ecn.is_ce());
+        assert_eq!(e.host_marks, 0);
+    }
+
+    #[test]
+    fn fabric_marks_counted_separately() {
+        let mut e = EcnEcho::new();
+        let mut p = pkt();
+        p.ecn = EcnCodepoint::Ce;
+        e.process(&mut p, true);
+        assert!(p.ecn.is_ce());
+        assert_eq!(e.fabric_marks, 1);
+        assert_eq!(e.host_marks, 0, "switch marks are not double-counted");
+    }
+
+    #[test]
+    fn mark_fraction() {
+        let mut e = EcnEcho::new();
+        for i in 0..10 {
+            let mut p = pkt();
+            e.process(&mut p, i < 3);
+        }
+        assert!((e.host_mark_fraction() - 0.3).abs() < 1e-12);
+        e.reset_window();
+        assert_eq!(e.processed, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the hostCC controller.
+
+use hostcc_core::{HostCc, HostCcConfig, Regime, SignalSource};
+use hostcc_host::{Mba, MsrBank, MsrReadModel};
+use hostcc_sim::{Nanos, Rng};
+use proptest::prelude::*;
+
+fn controller(cfg: HostCcConfig, seed: u64) -> HostCc {
+    HostCc::new(
+        cfg,
+        MsrReadModel::new(Nanos::from_nanos(600), Nanos::from_nanos(250)),
+        0.5,
+        Rng::new(seed),
+    )
+}
+
+fn mba() -> Mba {
+    Mba::new(
+        [
+            Nanos::ZERO,
+            Nanos::from_nanos(170),
+            Nanos::from_nanos(360),
+            Nanos::from_nanos(580),
+        ],
+        Nanos::from_micros(22),
+    )
+}
+
+proptest! {
+    /// For every combination of signals, the controller lands in exactly
+    /// the Fig 6 regime, the desired level stays within 0..=4, and the
+    /// marking decision equals the congestion predicate.
+    #[test]
+    fn regime_classification_is_total_and_consistent(
+        seed in any::<u64>(),
+        segments in prop::collection::vec((0.0f64..100.0, 0.0f64..16.0), 1..20),
+    ) {
+        let cfg = HostCcConfig::paper_default();
+        let it = cfg.it;
+        let bt_pcie = cfg.bt_pcie().as_bytes_per_ns();
+        let mut hc = controller(cfg, seed);
+        let mut m = mba();
+        let mut bank = MsrBank::new();
+        let mut now = Nanos::ZERO;
+        let dt = Nanos::from_nanos(100);
+        for &(occ, rate) in &segments {
+            // Hold this signal level for 100 µs so the EWMAs converge.
+            for _ in 0..1000 {
+                now += dt;
+                bank.integrate_occupancy(occ, dt);
+                bank.add_insertions(rate * 100.0);
+                hc.on_tick(now, &bank, &mut m);
+            }
+            let congested = hc.is() > it;
+            let met = hc.bs().as_bytes_per_ns() >= bt_pcie;
+            let expect = match (congested, met) {
+                (false, true) => Regime::R1,
+                (true, true) => Regime::R2,
+                (true, false) => Regime::R3,
+                (false, false) => Regime::R4,
+            };
+            // The regime recorded at the last sample agrees with the
+            // converged signals (EWMAs have settled by now).
+            prop_assert_eq!(hc.regime(), expect,
+                "occ={} rate={} is={} bs={}", occ, rate, hc.is(), hc.bs().as_gbps());
+            prop_assert!(hc.desired_level() <= 4);
+            prop_assert_eq!(hc.should_mark(), congested);
+        }
+    }
+
+    /// The MBA level only moves one step per matured write, no matter how
+    /// wild the signals are (the 22 µs actuator gate).
+    #[test]
+    fn level_changes_are_write_gated(seed in any::<u64>(), steps in 1usize..200) {
+        let mut hc = controller(HostCcConfig::paper_default(), seed);
+        let mut m = mba();
+        let mut bank = MsrBank::new();
+        let mut rng = Rng::new(seed ^ 0xABCD);
+        let mut now = Nanos::ZERO;
+        let dt = Nanos::from_nanos(100);
+        let mut last_eff = 0u8;
+        for _ in 0..steps {
+            for _ in 0..10 {
+                now += dt;
+                let occ = rng.f64() * 93.0;
+                let rate = rng.f64() * 13.0;
+                bank.integrate_occupancy(occ, dt);
+                bank.add_insertions(rate * 100.0);
+                hc.on_tick(now, &bank, &mut m);
+                let eff = m.effective_level(now);
+                let diff = eff.abs_diff(last_eff);
+                prop_assert!(diff <= 1, "effective level jumped by {diff}");
+                last_eff = eff;
+            }
+        }
+    }
+
+    /// NIC-buffer signal source: marking follows the NIC threshold, not
+    /// the IIO one.
+    #[test]
+    fn nic_signal_source_uses_its_own_threshold(backlog in 0u64..1_000_000) {
+        let mut cfg = HostCcConfig::paper_default();
+        cfg.signal_source = SignalSource::NicBuffer;
+        cfg.nic_it_bytes = 64.0 * 1024.0;
+        let mut hc = controller(cfg, 1);
+        let mut m = mba();
+        let mut bank = MsrBank::new();
+        let mut now = Nanos::ZERO;
+        let dt = Nanos::from_nanos(100);
+        // Very high IIO occupancy the whole time — must be ignored.
+        for _ in 0..2000 {
+            now += dt;
+            bank.integrate_occupancy(93.0, dt);
+            bank.add_insertions(5.0 * 100.0);
+            hc.on_tick_with_nic(now, &bank, backlog, &mut m);
+        }
+        prop_assert_eq!(hc.should_mark(), backlog as f64 > 64.0 * 1024.0,
+            "backlog={} is={}", backlog, hc.is());
+    }
+}

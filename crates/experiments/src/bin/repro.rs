@@ -1,0 +1,100 @@
+//! `repro` — regenerate any figure of the hostCC paper.
+//!
+//! ```text
+//! repro [--quick] [--csv DIR] <fig2|fig3|fig4|fig7|fig8|fig9|...|fig19|all>
+//! ```
+//!
+//! Every run is deterministic; `--quick` uses short measurement windows
+//! (coarser tails, same qualitative shapes); `--csv DIR` additionally
+//! writes every panel as a CSV file for plotting.
+
+use std::process::ExitCode;
+
+use hostcc_experiments::figures::{self, Budget, FigureReport};
+
+type FigFn = fn(&Budget) -> FigureReport;
+
+const FIGS: &[(&str, FigFn)] = &[
+    ("fig2", figures::fig2),
+    ("fig3", figures::fig3),
+    ("fig4", figures::fig4),
+    ("fig7", figures::fig7),
+    ("fig8", figures::fig8),
+    ("fig9", figures::fig9),
+    ("fig10", figures::fig10),
+    ("fig11", figures::fig11),
+    ("fig12", figures::fig12),
+    ("fig13", figures::fig13),
+    ("fig14", figures::fig14),
+    ("fig15", figures::fig15),
+    ("fig16", figures::fig16),
+    ("fig17", figures::fig17),
+    ("fig18", figures::fig18),
+    ("fig19", figures::fig19),
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro [--quick] [--csv DIR] <figure>...");
+    eprintln!("figures: all {}", FIGS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "));
+    ExitCode::FAILURE
+}
+
+fn sanitize(caption: &str) -> String {
+    caption
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect::<String>()
+        .trim_matches('_')
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let mut budget = Budget::standard();
+    let mut targets: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => budget = Budget::quick(),
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(dir),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            name => targets.push(name.to_string()),
+        }
+    }
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = FIGS.iter().map(|(n, _)| n.to_string()).collect();
+    }
+    for t in &targets {
+        let Some((_, f)) = FIGS.iter().find(|(n, _)| n == t) else {
+            eprintln!("unknown figure: {t}");
+            return usage();
+        };
+        let started = std::time::Instant::now();
+        let report = f(&budget);
+        println!("{}", report.render());
+        if let Some(dir) = &csv_dir {
+            for (i, (caption, table)) in report.panels.iter().enumerate() {
+                let path = format!("{dir}/{t}_{i}_{}.csv", sanitize(caption));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("[wrote {path}]");
+            }
+        }
+        println!("[{} regenerated in {:.1?}]\n", t, started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,153 @@
+//! Figures 2–4: the host-congestion phenomenon with vanilla DCTCP (§2.2).
+
+use hostcc_metrics::{f2, pct, Table};
+use hostcc_workloads::PAPER_RPC_SIZES;
+
+use super::{run, us, Budget, FigureReport};
+use crate::Scenario;
+
+/// Figure 2: throughput, drop rate, and memory-bandwidth split vs the
+/// degree of host congestion, with DDIO on and off.
+pub fn fig2(budget: &Budget) -> FigureReport {
+    let mut left = Table::new(["degree", "ddio", "tput_gbps", "drop_pct"]);
+    let mut right = Table::new(["degree", "ddio", "netapp_mem_util", "mapp_mem_util"]);
+    for ddio in [false, true] {
+        for degree in [0.0, 1.0, 2.0, 3.0] {
+            let mut s = budget.apply(Scenario::with_congestion(degree));
+            if ddio {
+                s = s.enable_ddio();
+            }
+            let r = run(s);
+            let d = format!("{degree}x");
+            let dd = if ddio { "on" } else { "off" };
+            left.row([d.clone(), dd.into(), f2(r.goodput_gbps()), pct(r.drop_rate_pct)]);
+            right.row([
+                d,
+                dd.into(),
+                f2(r.net_mem_util),
+                f2(r.mapp_mem_util),
+            ]);
+        }
+    }
+    FigureReport {
+        id: "Figure 2",
+        title: "Host congestion degrades DCTCP throughput and drops packets at the host",
+        panels: vec![
+            ("left: network throughput / packet drop rate".into(), left),
+            ("right: memory bandwidth utilization split".into(), right),
+        ],
+        notes: vec![
+            "paper anchors (DDIO off): ≈98/80/55/43 Gbps at 0–3x; ≈0.3% drops at 3x".into(),
+        ],
+    }
+}
+
+/// Figure 3: the impact of host congestion worsens with MTU size and the
+/// number of active flows (3× congestion).
+pub fn fig3(budget: &Budget) -> FigureReport {
+    let mut mtu_panel = Table::new(["mtu", "ddio", "tput_gbps", "drop_pct"]);
+    for ddio in [false, true] {
+        for mtu in [1500u64, 4000, 9000] {
+            let mut s = budget.apply(Scenario::with_congestion(3.0));
+            s.mtu = mtu;
+            if ddio {
+                s = s.enable_ddio();
+            }
+            let r = run(s);
+            mtu_panel.row([
+                format!("{mtu}B"),
+                (if ddio { "on" } else { "off" }).into(),
+                f2(r.goodput_gbps()),
+                pct(r.drop_rate_pct),
+            ]);
+        }
+    }
+    let mut flows_panel = Table::new(["flows", "ddio", "tput_gbps", "drop_pct"]);
+    for ddio in [false, true] {
+        for flows in [4u32, 8, 16] {
+            let mut s = budget.apply(Scenario::with_congestion(3.0));
+            s.flows_per_sender = vec![flows];
+            if ddio {
+                s = s.enable_ddio();
+            }
+            let r = run(s);
+            flows_panel.row([
+                flows.to_string(),
+                (if ddio { "on" } else { "off" }).into(),
+                f2(r.goodput_gbps()),
+                pct(r.drop_rate_pct),
+            ]);
+        }
+    }
+    FigureReport {
+        id: "Figure 3",
+        title: "Impact worsens with larger MTU and more flows (3x congestion)",
+        panels: vec![
+            ("left: MTU sweep".into(), mtu_panel),
+            ("right: flow-count sweep".into(), flows_panel),
+        ],
+        notes: vec![
+            "paper: drop rates rise with MTU and flows; DDIO-on suffers more at 9000B/16 flows".into(),
+        ],
+    }
+}
+
+/// Shared body for the latency figures (4, 12, 15): run NetApp-T +
+/// NetApp-L + MApp and tabulate the P50–P99.99 whiskers per RPC size.
+pub(crate) fn latency_figure(
+    budget: &Budget,
+    variants: Vec<(&'static str, Scenario)>,
+    id: &'static str,
+    title: &'static str,
+) -> FigureReport {
+    let mut t = Table::new([
+        "config", "rpc_size", "p50_us", "p90_us", "p99_us", "p99.9_us", "p99.99_us", "samples",
+    ]);
+    let mut notes = Vec::new();
+    for (name, s) in variants {
+        let r = run(budget.apply_latency(s));
+        for size in PAPER_RPC_SIZES {
+            match r.rpc_whiskers(size) {
+                Some([p50, p90, p99, p999, p9999]) => {
+                    let count = r.rpc.get(&size).map(|x| x.count).unwrap_or(0);
+                    t.row([
+                        name.to_string(),
+                        format!("{size}B"),
+                        us(p50),
+                        us(p90),
+                        us(p99),
+                        us(p999),
+                        us(p9999),
+                        count.to_string(),
+                    ]);
+                }
+                None => notes.push(format!("{name}: no completed {size}B RPCs in budget")),
+            }
+        }
+        notes.push(format!(
+            "{name}: timeouts={} tlp_probes={} drop={}%",
+            r.timeouts,
+            r.tlp_probes,
+            pct(r.drop_rate_pct)
+        ));
+    }
+    FigureReport {
+        id,
+        title,
+        panels: vec![("latency whiskers per RPC size".into(), t)],
+        notes,
+    }
+}
+
+/// Figure 4: orders-of-magnitude tail-latency inflation for NetApp-L under
+/// host congestion (DDIO off, no hostCC).
+pub fn fig4(budget: &Budget) -> FigureReport {
+    let no_cong = Scenario::paper_baseline().with_rpc(budget.rpc_clients);
+    let cong = Scenario::with_congestion(3.0).with_rpc(budget.rpc_clients);
+    latency_figure(
+        budget,
+        vec![("dctcp/no-congestion", no_cong), ("dctcp/3x-congestion", cong)],
+        "Figure 4",
+        "Host congestion inflates tail latency (P99 ≈ NIC queueing; P99.9 ≈ 200 ms RTO)",
+    )
+}

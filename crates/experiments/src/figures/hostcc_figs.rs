@@ -1,0 +1,246 @@
+//! Figures 9–15: hostCC's benefits (§5.1–§5.2) and the MBA actuator sweep.
+
+use hostcc_metrics::{f2, pct, Table};
+
+use super::baseline::latency_figure;
+use super::{run, Budget, FigureReport};
+use crate::{Scenario, Simulation};
+
+/// Figure 9: MBA efficacy — NetApp-T and MApp throughput at hard-coded
+/// host-local response levels 0–4, DDIO on/off, 3× congestion.
+pub fn fig9(budget: &Budget) -> FigureReport {
+    let mut left = Table::new(["level", "ddio", "netapp_tput_gbps", "mapp_tput_gbps"]);
+    let mut right = Table::new(["level", "ddio", "netapp_mem_util", "mapp_mem_util"]);
+    for ddio in [false, true] {
+        for level in 0..=4u8 {
+            let mut s = budget.apply(Scenario::with_congestion(3.0));
+            if ddio {
+                s = s.enable_ddio();
+            }
+            let mut sim = Simulation::new(s);
+            sim.force_mba_level(level);
+            let r = sim.run();
+            let dd = if ddio { "on" } else { "off" };
+            left.row([
+                level.to_string(),
+                dd.into(),
+                f2(r.goodput_gbps()),
+                f2(r.mapp_app_gbps),
+            ]);
+            right.row([
+                level.to_string(),
+                dd.into(),
+                f2(r.net_mem_util),
+                f2(r.mapp_mem_util),
+            ]);
+        }
+    }
+    FigureReport {
+        id: "Figure 9",
+        title: "MBA efficacy: higher response levels shift bandwidth from MApp to NetApp-T",
+        panels: vec![
+            ("left/middle: application throughputs".into(), left),
+            ("right: memory bandwidth split".into(), right),
+        ],
+        notes: vec![
+            "paper (DDIO off): NetApp-T ≈ 43→55→70→77→100 Gbps across levels 0–4".into(),
+            "paper: DDIO-on reaches line rate at a lower level (≈3) than DDIO-off (4)".into(),
+        ],
+    }
+}
+
+/// Shared body for Figures 10/14: DCTCP vs DCTCP+hostCC across congestion
+/// degrees.
+fn hostcc_benefit_figure(
+    budget: &Budget,
+    ddio: bool,
+    id: &'static str,
+    title: &'static str,
+) -> FigureReport {
+    let mut left = Table::new(["degree", "cc", "tput_gbps", "drop_pct"]);
+    let mut right = Table::new(["degree", "cc", "netapp_mem_util", "mapp_mem_util"]);
+    for hostcc in [false, true] {
+        for degree in [0.0, 1.0, 2.0, 3.0] {
+            let mut s = budget.apply(Scenario::with_congestion(degree));
+            if ddio {
+                s = s.enable_ddio();
+            }
+            if hostcc {
+                s = s.enable_hostcc();
+            }
+            let r = run(s);
+            let name = if hostcc { "dctcp+hostcc" } else { "dctcp" };
+            left.row([
+                format!("{degree}x"),
+                name.into(),
+                f2(r.goodput_gbps()),
+                pct(r.drop_rate_pct),
+            ]);
+            right.row([
+                format!("{degree}x"),
+                name.into(),
+                f2(r.net_mem_util),
+                f2(r.mapp_mem_util),
+            ]);
+        }
+    }
+    FigureReport {
+        id,
+        title,
+        panels: vec![
+            ("left: throughput / drop rate".into(), left),
+            ("right: memory bandwidth split".into(), right),
+        ],
+        notes: vec![
+            "paper: hostCC holds ≈ B_T = 80 Gbps at 2–3x and cuts drops by orders of magnitude"
+                .into(),
+        ],
+    }
+}
+
+/// Figure 10: hostCC benefits with DDIO disabled.
+pub fn fig10(budget: &Budget) -> FigureReport {
+    hostcc_benefit_figure(
+        budget,
+        false,
+        "Figure 10",
+        "hostCC maintains target bandwidth and near-zero drops under host congestion",
+    )
+}
+
+/// Figure 11: hostCC benefits across MTU sizes and flow counts (3×).
+pub fn fig11(budget: &Budget) -> FigureReport {
+    let mut mtu_panel = Table::new(["mtu", "cc", "tput_gbps", "drop_pct"]);
+    let mut flows_panel = Table::new(["flows", "cc", "tput_gbps", "drop_pct"]);
+    for hostcc in [false, true] {
+        let name = if hostcc { "dctcp+hostcc" } else { "dctcp" };
+        for mtu in [1500u64, 4000, 9000] {
+            let mut s = budget.apply(Scenario::with_congestion(3.0));
+            s.mtu = mtu;
+            if hostcc {
+                s = s.enable_hostcc();
+            }
+            let r = run(s);
+            mtu_panel.row([
+                format!("{mtu}B"),
+                name.into(),
+                f2(r.goodput_gbps()),
+                pct(r.drop_rate_pct),
+            ]);
+        }
+        for flows in [4u32, 8, 16] {
+            let mut s = budget.apply(Scenario::with_congestion(3.0));
+            s.flows_per_sender = vec![flows];
+            if hostcc {
+                s = s.enable_hostcc();
+            }
+            let r = run(s);
+            flows_panel.row([
+                flows.to_string(),
+                name.into(),
+                f2(r.goodput_gbps()),
+                pct(r.drop_rate_pct),
+            ]);
+        }
+    }
+    FigureReport {
+        id: "Figure 11",
+        title: "hostCC's benefits persist across MTU sizes and flow counts",
+        panels: vec![
+            ("left: MTU sweep".into(), mtu_panel),
+            ("right: flow-count sweep".into(), flows_panel),
+        ],
+        notes: vec![],
+    }
+}
+
+/// Figure 12: hostCC's tail-latency benefits (DDIO off).
+pub fn fig12(budget: &Budget) -> FigureReport {
+    let no_cong = Scenario::paper_baseline().with_rpc(budget.rpc_clients);
+    let cong = Scenario::with_congestion(3.0).with_rpc(budget.rpc_clients);
+    let hcc = Scenario::with_congestion(3.0)
+        .with_rpc(budget.rpc_clients)
+        .enable_hostcc();
+    latency_figure(
+        budget,
+        vec![
+            ("dctcp/no-congestion", no_cong),
+            ("dctcp/3x-congestion", cong),
+            ("dctcp+hostcc/3x-congestion", hcc),
+        ],
+        "Figure 12",
+        "hostCC keeps tail latency near the uncongested baseline (no timeouts at P99.9)",
+    )
+}
+
+/// Figure 13: incast — network congestion with and without host congestion.
+pub fn fig13(budget: &Budget) -> FigureReport {
+    let mut a = Table::new(["incast", "cc", "tput_gbps", "drop_pct", "switch_drops", "nic_drops"]);
+    let mut b = Table::new(["incast", "cc", "tput_gbps", "drop_pct", "switch_drops", "nic_drops"]);
+    for (panel, mapp) in [(&mut a, 0.0), (&mut b, 3.0)] {
+        for hostcc in [false, true] {
+            let name = if hostcc { "dctcp+hostcc" } else { "dctcp" };
+            for degree in [1.0f64, 1.5, 2.0, 2.5] {
+                let flows = (4.0 * degree).round() as u32;
+                let mut s = budget.apply(Scenario::incast(flows, mapp));
+                if hostcc {
+                    s = s.enable_hostcc();
+                }
+                let r = run(s);
+                panel.row([
+                    format!("{degree}x"),
+                    name.into(),
+                    f2(r.goodput_gbps()),
+                    pct(r.drop_rate_pct),
+                    r.switch_drops.to_string(),
+                    r.nic_drops.to_string(),
+                ]);
+            }
+        }
+    }
+    FigureReport {
+        id: "Figure 13",
+        title: "Incast: hostCC ≈ network CC without host congestion; large wins with it",
+        panels: vec![
+            ("(a) network congestion only".into(), a),
+            ("(b) host + network congestion".into(), b),
+        ],
+        notes: vec![
+            "paper: without host congestion the two curves coincide (minimal overhead)".into(),
+        ],
+    }
+}
+
+/// Figure 14: hostCC benefits with DDIO enabled (I_T = 50).
+pub fn fig14(budget: &Budget) -> FigureReport {
+    hostcc_benefit_figure(
+        budget,
+        true,
+        "Figure 14",
+        "hostCC with DDIO enabled: same benefits as the DDIO-disabled case",
+    )
+}
+
+/// Figure 15: hostCC tail latency with DDIO enabled.
+pub fn fig15(budget: &Budget) -> FigureReport {
+    let no_cong = Scenario::paper_baseline()
+        .enable_ddio()
+        .with_rpc(budget.rpc_clients);
+    let cong = Scenario::with_congestion(3.0)
+        .enable_ddio()
+        .with_rpc(budget.rpc_clients);
+    let hcc = Scenario::with_congestion(3.0)
+        .enable_ddio()
+        .with_rpc(budget.rpc_clients)
+        .enable_hostcc();
+    latency_figure(
+        budget,
+        vec![
+            ("dctcp/no-congestion", no_cong),
+            ("dctcp/3x-congestion", cong),
+            ("dctcp+hostcc/3x-congestion", hcc),
+        ],
+        "Figure 15",
+        "DDIO enabled: latency improvements identical to the DDIO-disabled case",
+    )
+}

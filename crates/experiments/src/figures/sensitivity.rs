@@ -1,0 +1,59 @@
+//! Figures 16–17: sensitivity to hostCC's two parameters, `B_T` and `I_T`.
+
+use hostcc_metrics::{f2, pct, Table};
+use hostcc_sim::Rate;
+
+use super::{run, Budget, FigureReport};
+use crate::Scenario;
+
+/// Figure 16: sweep the target network bandwidth `B_T` from 10 to
+/// 100 Gbps at 3× host congestion.
+pub fn fig16(budget: &Budget) -> FigureReport {
+    let mut left = Table::new(["bt_gbps", "tput_gbps", "drop_pct"]);
+    let mut right = Table::new(["bt_gbps", "netapp_mem_util", "mapp_mem_util"]);
+    for bt in (1..=10).map(|i| 10.0 * i as f64) {
+        let mut s = budget.apply(Scenario::with_congestion(3.0)).enable_hostcc();
+        if let Some(hc) = &mut s.hostcc {
+            hc.bt = Rate::gbps(bt);
+        }
+        let r = run(s);
+        left.row([f2(bt), f2(r.goodput_gbps()), pct(r.drop_rate_pct)]);
+        right.row([f2(bt), f2(r.net_mem_util), f2(r.mapp_mem_util)]);
+    }
+    FigureReport {
+        id: "Figure 16",
+        title: "hostCC tracks any target bandwidth B_T with minimal drops",
+        panels: vec![
+            ("left: throughput / drops vs B_T".into(), left),
+            ("right: memory split vs B_T".into(), right),
+        ],
+        notes: vec![
+            "paper: throughput ≈ min(B_T, achievable); drops lowest at small and large B_T".into(),
+        ],
+    }
+}
+
+/// Figure 17: sweep the IIO occupancy threshold `I_T` from 70 to 90 at 3×
+/// host congestion.
+pub fn fig17(budget: &Budget) -> FigureReport {
+    let mut left = Table::new(["it", "tput_gbps", "drop_pct"]);
+    let mut right = Table::new(["it", "netapp_mem_util", "mapp_mem_util"]);
+    for it in [70.0, 75.0, 80.0, 85.0, 90.0] {
+        let mut s = budget.apply(Scenario::with_congestion(3.0)).enable_hostcc();
+        if let Some(hc) = &mut s.hostcc {
+            hc.it = it;
+        }
+        let r = run(s);
+        left.row([f2(it), f2(r.goodput_gbps()), pct(r.drop_rate_pct)]);
+        right.row([f2(it), f2(r.net_mem_util), f2(r.mapp_mem_util)]);
+    }
+    FigureReport {
+        id: "Figure 17",
+        title: "Higher I_T delays the reaction to congestion: more drops, more MApp bandwidth",
+        panels: vec![
+            ("left: throughput / drops vs I_T".into(), left),
+            ("right: memory split vs I_T".into(), right),
+        ],
+        notes: vec![],
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness: assembles the full hostCC simulation and provides
+//! one reproduction function per figure of the paper.
+//!
+//! * [`Scenario`] — every knob of an experiment, with paper presets.
+//! * [`Simulation`] — the assembled event loop.
+//! * [`RunResult`] — everything a figure needs: throughput, drop rates,
+//!   memory split, latency histograms, signal CDFs, time series.
+//! * [`figures`] — `fig2()` … `fig19()`, each returning printable tables
+//!   that mirror the paper's panels.
+//!
+//! ```
+//! use hostcc_experiments::{Scenario, Simulation};
+//! use hostcc_sim::Nanos;
+//!
+//! // The paper's headline comparison in four lines.
+//! let mut scenario = Scenario::with_congestion(3.0).enable_hostcc();
+//! scenario.warmup = Nanos::from_millis(1);
+//! scenario.measure = Nanos::from_millis(2);
+//! let result = Simulation::new(scenario).run();
+//! assert!(result.goodput_gbps() > 50.0);
+//! assert_eq!(result.nic_drops, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+mod result;
+mod scenario;
+mod sim;
+
+pub use result::{Recording, RpcResult, RunResult};
+pub use scenario::{CcKind, Scenario};
+pub use sim::Simulation;

@@ -1,0 +1,115 @@
+//! Results of one simulation run.
+
+use std::collections::HashMap;
+
+use hostcc_metrics::{Cdf, Histogram, TimeSeries};
+use hostcc_sim::{Nanos, Rate};
+
+/// Time-series recording of the hostCC-relevant microscopic state
+/// (Fig 8, 18, 19), sampled at signal-sampler granularity (~1 µs).
+#[derive(Debug, Clone, Default)]
+pub struct Recording {
+    /// Raw per-interval IIO occupancy (cachelines).
+    pub is_raw: TimeSeries,
+    /// Smoothed `I_S`.
+    pub is_ewma: TimeSeries,
+    /// Raw per-interval PCIe bandwidth (Gbps).
+    pub bs_gbps: TimeSeries,
+    /// Effective MBA response level.
+    pub level: TimeSeries,
+    /// NIC buffer backlog (bytes).
+    pub nic_backlog: TimeSeries,
+}
+
+impl Recording {
+    /// Empty recording with named series.
+    pub fn new() -> Self {
+        Recording {
+            is_raw: TimeSeries::new("iio_occupancy"),
+            is_ewma: TimeSeries::new("iio_occupancy_ewma"),
+            bs_gbps: TimeSeries::new("pcie_bw_gbps"),
+            level: TimeSeries::new("response_level"),
+            nic_backlog: TimeSeries::new("nic_backlog_bytes"),
+        }
+    }
+}
+
+/// Per-RPC-size latency summary.
+#[derive(Debug, Clone)]
+pub struct RpcResult {
+    /// Full latency histogram.
+    pub histogram: Histogram,
+    /// Completed RPCs of this size.
+    pub count: u64,
+}
+
+/// The measured outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Measurement window length.
+    pub window: Nanos,
+    /// Application goodput of the greedy (NetApp-T) flows.
+    pub goodput: Rate,
+    /// Application goodput of all flows (incl. RPC bytes).
+    pub goodput_all: Rate,
+    /// Packet drop percentage: (NIC + switch + injected) / data packets
+    /// sent.
+    pub drop_rate_pct: f64,
+    /// Drops at the receiver NIC.
+    pub nic_drops: u64,
+    /// Drops at the switch egress.
+    pub switch_drops: u64,
+    /// Data packets transmitted by all senders (incl. retransmissions).
+    pub data_packets: u64,
+    /// Peak NIC buffer occupancy.
+    pub nic_peak_bytes: u64,
+    /// Network-attributed memory bandwidth (DMA + copy) / theoretical peak.
+    pub net_mem_util: f64,
+    /// MApp memory bandwidth / theoretical peak.
+    pub mapp_mem_util: f64,
+    /// MApp application-level throughput in Gbps (the Fig 9 right axis).
+    pub mapp_app_gbps: f64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+    /// RTO events.
+    pub timeouts: u64,
+    /// TLP probes.
+    pub tlp_probes: u64,
+    /// Packets CE-marked by hostCC's receiver echo.
+    pub host_marks: u64,
+    /// Packets CE-marked by the switch.
+    pub fabric_marks: u64,
+    /// Mean smoothed `I_S` over the window (monitor sampler).
+    pub mean_is: f64,
+    /// Mean PCIe bandwidth over the window.
+    pub mean_bs: Rate,
+    /// Mean effective MBA level over the window.
+    pub mean_level: f64,
+    /// MBA MSR writes issued.
+    pub mba_writes: u64,
+    /// Per-size RPC latency results (empty if no RPC workload).
+    pub rpc: HashMap<u64, RpcResult>,
+    /// Signal read-latency CDFs (occupancy read, insertion read).
+    pub read_is_cdf: Cdf,
+    /// CDF of the `R_INS` read latency.
+    pub read_bs_cdf: Cdf,
+    /// Microscopic time series (when `Scenario::record` was set).
+    pub recording: Option<Recording>,
+}
+
+impl RunResult {
+    /// Goodput in Gbps (convenience for tables).
+    pub fn goodput_gbps(&self) -> f64 {
+        self.goodput.as_gbps()
+    }
+
+    /// Latency whiskers {P50, P90, P99, P99.9, P99.99} for one RPC size.
+    pub fn rpc_whiskers(&self, size: u64) -> Option<[Nanos; 5]> {
+        self.rpc.get(&size).and_then(|r| r.histogram.whiskers())
+    }
+
+    /// Total drops across all loss points.
+    pub fn total_drops(&self) -> u64 {
+        self.nic_drops + self.switch_drops
+    }
+}

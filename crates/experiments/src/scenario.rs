@@ -1,0 +1,261 @@
+//! End-to-end scenario configuration: one struct that pins every knob of
+//! an experiment, with presets for the paper's setups.
+
+use serde::{Deserialize, Serialize};
+
+use hostcc_core::HostCcConfig;
+use hostcc_fabric::{FaultConfig, SwitchPortConfig};
+use hostcc_host::HostConfig;
+use hostcc_sim::{Nanos, Rate};
+use hostcc_workloads::RpcConfig;
+
+/// Which congestion-control protocol the flows run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CcKind {
+    /// Linux DCTCP (the paper's protocol).
+    Dctcp,
+    /// TCP NewReno.
+    Reno,
+    /// CUBIC.
+    Cubic,
+    /// Swift-style delay-based CC (paper §6 extension).
+    Swift,
+    /// TIMELY-style RTT-gradient CC (paper reference [31]).
+    Timely,
+}
+
+/// A complete experiment scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// RNG seed: every run is exactly repeatable from this.
+    pub seed: u64,
+    /// MTU in bytes (paper default 4096, Fig 3/11 sweep {1500, 4000, 9000}).
+    pub mtu: u64,
+    /// Number of sender hosts (1; 2 for the Fig 13 incast).
+    pub senders: usize,
+    /// Greedy (NetApp-T) flows per sender.
+    pub flows_per_sender: Vec<u32>,
+    /// Attach a NetApp-L RPC client (flows on sender 0)?
+    pub rpc: Option<RpcConfig>,
+    /// Number of parallel RPC client connections (sample-rate knob; the
+    /// paper's netperf uses 1 — more clients gather tail samples faster
+    /// without materially changing load).
+    pub rpc_clients: usize,
+    /// MApp congestion degree at the receiver.
+    pub mapp_degree: f64,
+    /// Start MApp at this time instead of t = 0 (abrupt-onset studies).
+    pub mapp_start: Nanos,
+    /// Stop all greedy (NetApp-T) flows at this time (None = never):
+    /// exercises how host resources are returned when network demand
+    /// vanishes — where the target-bandwidth *policy* matters (§3.2).
+    pub net_stop: Option<Nanos>,
+    /// MApp congestion degree at sender 0 (sender-side host congestion:
+    /// TX DMA reads starve; paper Fig 5's sender-side response exercises
+    /// this). 0 disables the sender host model entirely.
+    pub sender_mapp_degree: f64,
+    /// Run a sender-side hostCC response (only meaningful with
+    /// `sender_mapp_degree > 0`): keeps network TX from being starved by
+    /// backpressuring the sender's host-local traffic.
+    pub sender_hostcc: bool,
+    /// Receiver host model.
+    pub host: HostConfig,
+    /// hostCC controller (None = vanilla network CC).
+    pub hostcc: Option<HostCcConfig>,
+    /// Congestion control protocol.
+    pub cc: CcKind,
+    /// Switch egress port toward the receiver.
+    pub switch: SwitchPortConfig,
+    /// One-way per-link propagation (incl. per-hop stack overheads).
+    pub link_prop: Nanos,
+    /// Receive-side stack delay from DMA completion to transport.
+    pub rx_stack_delay: Nanos,
+    /// Fixed reverse-path delay for ACKs (uncongested direction).
+    pub ack_delay: Nanos,
+    /// Per-flow receive socket buffer.
+    pub rcv_buf: u64,
+    /// Warm-up before measurement starts.
+    pub warmup: Nanos,
+    /// Measurement window.
+    pub measure: Nanos,
+    /// Record signal/level time series during measurement (Fig 8/18/19).
+    pub record: bool,
+    /// Fabric fault injection (robustness tests; off for paper figures).
+    pub fault: FaultConfig,
+}
+
+impl Scenario {
+    /// The paper's baseline setup (§2.2/§5.1): one sender, 4 greedy DCTCP
+    /// flows at 4 KiB MTU into one receiver, no RPC client, MApp degree 0,
+    /// DDIO off, no hostCC.
+    pub fn paper_baseline() -> Self {
+        Scenario {
+            seed: 1,
+            mtu: 4096,
+            senders: 1,
+            flows_per_sender: vec![4],
+            rpc: None,
+            rpc_clients: 1,
+            mapp_degree: 0.0,
+            mapp_start: Nanos::ZERO,
+            net_stop: None,
+            sender_mapp_degree: 0.0,
+            sender_hostcc: false,
+            host: HostConfig::paper_default(),
+            hostcc: None,
+            cc: CcKind::Dctcp,
+            switch: SwitchPortConfig::paper_default(),
+            link_prop: Nanos::from_micros(8),
+            rx_stack_delay: Nanos::from_nanos(1500),
+            ack_delay: Nanos::from_micros(17),
+            rcv_buf: 1 << 20,
+            warmup: Nanos::from_millis(3),
+            measure: Nanos::from_millis(10),
+            record: false,
+            fault: FaultConfig::none(),
+        }
+    }
+
+    /// Baseline at an MApp congestion degree.
+    pub fn with_congestion(degree: f64) -> Self {
+        Scenario {
+            mapp_degree: degree,
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Enable hostCC with the paper's defaults (matched to the host's DDIO
+    /// setting: `I_T` = 70 DDIO-off / 50 DDIO-on).
+    pub fn enable_hostcc(mut self) -> Self {
+        self.hostcc = Some(if self.host.ddio_enabled {
+            HostCcConfig::paper_ddio()
+        } else {
+            HostCcConfig::paper_default()
+        });
+        self
+    }
+
+    /// Enable DDIO on the receiver host.
+    pub fn enable_ddio(mut self) -> Self {
+        self.host = HostConfig {
+            ddio_enabled: true,
+            ..self.host
+        };
+        // If hostCC was already configured, retune its threshold.
+        if self.hostcc.is_some() {
+            self.hostcc = Some(HostCcConfig::paper_ddio());
+        }
+        self
+    }
+
+    /// The Fig 13 incast setup: `total_flows` split over two senders.
+    pub fn incast(total_flows: u32, mapp_degree: f64) -> Self {
+        let spec = hostcc_workloads::IncastSpec {
+            senders: 2,
+            total_flows,
+        };
+        Scenario {
+            senders: 2,
+            flows_per_sender: (0..2).map(|i| spec.flows_for_sender(i)).collect(),
+            mapp_degree,
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Enable the IOMMU with a DMA working set of `footprint_pages` I/O
+    /// pages (§6: IOMMU-induced host congestion — invisible to the IIO
+    /// occupancy signal because it throttles DMA *before* the IIO).
+    pub fn with_iommu(mut self, footprint_pages: u64) -> Self {
+        self.host.iommu = hostcc_host::IommuConfig::with_footprint(footprint_pages);
+        self
+    }
+
+    /// Add sender-side host congestion (TX DMA contention at sender 0),
+    /// optionally with the sender-side hostCC response.
+    pub fn with_sender_congestion(mut self, degree: f64, hostcc: bool) -> Self {
+        self.sender_mapp_degree = degree;
+        self.sender_hostcc = hostcc;
+        self
+    }
+
+    /// Attach the NetApp-L RPC workload (Fig 4/12/15).
+    pub fn with_rpc(mut self, clients: usize) -> Self {
+        self.rpc = Some(RpcConfig::default());
+        self.rpc_clients = clients;
+        self
+    }
+
+    /// Total greedy flows.
+    pub fn total_greedy_flows(&self) -> u32 {
+        self.flows_per_sender.iter().sum()
+    }
+
+    /// Maximum segment size for this MTU.
+    pub fn mss(&self) -> u64 {
+        self.mtu - u64::from(hostcc_fabric::HEADER_BYTES)
+    }
+
+    /// Sanity-check the configuration.
+    pub fn validate(&self) {
+        assert_eq!(self.senders, self.flows_per_sender.len());
+        assert!(self.mtu > u64::from(hostcc_fabric::HEADER_BYTES) + 64);
+        assert!(self.measure > Nanos::ZERO);
+        assert!(self.rpc_clients >= 1);
+        self.host.validate();
+    }
+
+    /// Approximate base RTT of the scenario (diagnostics).
+    pub fn base_rtt(&self) -> Nanos {
+        // data: ser ×2 + prop ×2 + host + stack; ack: fixed.
+        let ser = Rate::gbps(100.0).time_for_bytes(self.mtu) * 2;
+        ser + self.link_prop * 2 + Nanos::from_micros(1) + self.rx_stack_delay + self.ack_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        Scenario::paper_baseline().validate();
+        Scenario::with_congestion(3.0).validate();
+        Scenario::with_congestion(3.0).enable_hostcc().validate();
+        Scenario::incast(10, 3.0).validate();
+        Scenario::paper_baseline().with_rpc(4).validate();
+        Scenario::paper_baseline().enable_ddio().enable_hostcc().validate();
+    }
+
+    #[test]
+    fn base_rtt_near_paper() {
+        // The paper's RTT is ~44 µs (MBA write = 22 µs = RTT/2).
+        let rtt = Scenario::paper_baseline().base_rtt();
+        assert!(
+            (Nanos::from_micros(30)..Nanos::from_micros(50)).contains(&rtt),
+            "base RTT = {rtt}"
+        );
+    }
+
+    #[test]
+    fn hostcc_threshold_follows_ddio() {
+        let s = Scenario::paper_baseline().enable_hostcc();
+        assert_eq!(s.hostcc.as_ref().unwrap().it, 70.0);
+        let s = Scenario::paper_baseline().enable_ddio().enable_hostcc();
+        assert_eq!(s.hostcc.as_ref().unwrap().it, 50.0);
+        // Order-independent.
+        let s = Scenario::paper_baseline().enable_hostcc().enable_ddio();
+        assert_eq!(s.hostcc.as_ref().unwrap().it, 50.0);
+    }
+
+    #[test]
+    fn incast_splits_flows() {
+        let s = Scenario::incast(10, 3.0);
+        assert_eq!(s.flows_per_sender, vec![5, 5]);
+        let s = Scenario::incast(7, 0.0);
+        assert_eq!(s.total_greedy_flows(), 7);
+    }
+
+    #[test]
+    fn mss_accounts_headers() {
+        assert_eq!(Scenario::paper_baseline().mss(), 4096 - 66);
+    }
+}

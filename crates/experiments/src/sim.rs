@@ -1,0 +1,751 @@
+//! The end-to-end simulation: senders → switch → receiver host, with
+//! transport, hostCC, workloads and metrics wired together.
+//!
+//! Architecture: packet motion is event-driven (the [`Ev`] enum); the
+//! receiver host integrates on a fixed 100 ns tick. The main loop drains
+//! all events up to the next tick boundary, then advances the host model,
+//! the hostCC controller, the flows' timers and the workload generators.
+//!
+//! ```text
+//! Flow.poll_send → FqLink(sender NIC) → prop → SwitchPort(ECN/drop) →
+//!   prop → RxHost(NIC buffer → PCIe → IIO → memory) → stack delay →
+//!   Receiver.on_data → [hostCC echo already applied] → ACK (fixed
+//!   reverse delay) → Flow.on_ack
+//! ```
+
+use hostcc_core::{EcnEcho, HostCc, SignalConfig, SignalSampler, TargetPolicy};
+use hostcc_fabric::{
+    Departure, EnqueueOutcome, FaultInjector, FaultOutcome, FlowId, FqLink, Packet, SwitchPort,
+};
+use hostcc_host::{MsrReadModel, RxHost, TxHost};
+use hostcc_metrics::Cdf;
+use hostcc_sim::{EventQueue, Nanos, Rate, Rng};
+use hostcc_transport::{Cubic, Dctcp, Flow, FlowConfig, FlowStats, Receiver, Reno, Swift, Timely};
+use hostcc_workloads::RpcClient;
+
+use crate::result::{Recording, RpcResult, RunResult};
+use crate::scenario::{CcKind, Scenario};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A packet's last bit left sender `sender`'s NIC.
+    Depart { sender: usize, pkt: Packet },
+    /// A packet's last bit arrived at the switch ingress.
+    ArriveSwitch { pkt: Packet },
+    /// A packet's last bit arrived at the receiver NIC.
+    ArriveRxNic { pkt: Packet },
+    /// A DMA-completed packet cleared the receive stack.
+    DeliverStack { pkt: Packet },
+    /// An ACK reached the sender.
+    AckArrive {
+        flow: u32,
+        cum: u64,
+        ece: bool,
+        rwnd: u64,
+        sack: [Option<(u64, u64)>; 3],
+    },
+}
+
+/// The assembled simulation.
+pub struct Simulation {
+    cfg: Scenario,
+    q: EventQueue<Ev>,
+    senders: Vec<FqLink>,
+    /// Sender-side host model at sender 0 (None unless
+    /// `sender_mapp_degree > 0`).
+    tx_host: Option<TxHost>,
+    /// Sender-side hostCC controller (drives the TX host's MBA).
+    tx_hostcc: Option<HostCc>,
+    switch: SwitchPort,
+    rx: RxHost,
+    hostcc: Option<HostCc>,
+    echo: EcnEcho,
+    /// Monitoring sampler: independent of hostCC so vanilla-DCTCP runs
+    /// still observe the signals (Fig 2, 8).
+    monitor: SignalSampler,
+    flows: Vec<Flow>,
+    recvs: Vec<Receiver>,
+    sender_of_flow: Vec<usize>,
+    /// Per-flow reverse-path delay: the base `ack_delay` with a small
+    /// deterministic per-flow offset (±10 %), desynchronizing the greedy
+    /// flows' AIMD sawtooths the way real per-flow path jitter does.
+    ack_delay_of_flow: Vec<Nanos>,
+    /// Indices of greedy (NetApp-T) flows.
+    greedy: Vec<usize>,
+    /// RPC clients and their flow indices.
+    rpcs: Vec<(usize, RpcClient)>,
+    fault: FaultInjector,
+    corrupt_drops: u64,
+
+    // Window accounting.
+    flow_goodput: Vec<u64>,
+    copied_carry: f64,
+    last_advertised_rwnd: Vec<u64>,
+    stats_base: Vec<FlowStats>,
+    switch_base: (u64, u64, u64), // drops, marks, forwarded
+    level_sum: f64,
+    level_ticks: u64,
+    is_sum: f64,
+    is_count: u64,
+    bs_sum: f64,
+    read_is_cdf: Cdf,
+    read_bs_cdf: Cdf,
+    recording: Option<Recording>,
+    mapp_started: bool,
+    net_stopped: bool,
+    /// Optional dynamic target-bandwidth policy driving `hostcc.set_bt`
+    /// (None = the paper's fixed B_T).
+    policy: Option<Box<dyn TargetPolicy>>,
+    next_tick: Nanos,
+}
+
+fn make_cc(kind: CcKind, base_rtt: Nanos) -> Box<dyn hostcc_transport::CongestionControl> {
+    match kind {
+        CcKind::Dctcp => Box::new(Dctcp::new()),
+        CcKind::Reno => Box::new(Reno::new()),
+        CcKind::Cubic => Box::new(Cubic::new()),
+        // Swift target: 25% headroom over the base RTT.
+        CcKind::Swift => Box::new(Swift::new(base_rtt.scale(1.25))),
+        CcKind::Timely => Box::new(Timely::new(base_rtt)),
+    }
+}
+
+impl Simulation {
+    /// Assemble a scenario.
+    pub fn new(cfg: Scenario) -> Self {
+        cfg.validate();
+        let mut rng = Rng::new(cfg.seed);
+        let mut flows = Vec::new();
+        let mut recvs = Vec::new();
+        let mut sender_of_flow = Vec::new();
+        let mut greedy = Vec::new();
+        let flow_cfg = FlowConfig::for_mtu(cfg.mtu);
+        let base_rtt = cfg.base_rtt();
+
+        for (s, &n) in cfg.flows_per_sender.iter().enumerate() {
+            for _ in 0..n {
+                let id = FlowId(flows.len() as u32);
+                let mut f = Flow::new(id, flow_cfg.clone(), make_cc(cfg.cc, base_rtt));
+                f.set_greedy();
+                greedy.push(flows.len());
+                flows.push(f);
+                recvs.push(Receiver::new(id, cfg.rcv_buf));
+                sender_of_flow.push(s);
+            }
+        }
+        let mut rpcs = Vec::new();
+        if let Some(rpc_cfg) = &cfg.rpc {
+            for _ in 0..cfg.rpc_clients {
+                let id = FlowId(flows.len() as u32);
+                let f = Flow::new(id, flow_cfg.clone(), make_cc(cfg.cc, base_rtt));
+                let idx = flows.len();
+                flows.push(f);
+                recvs.push(Receiver::new(id, cfg.rcv_buf));
+                sender_of_flow.push(0);
+                rpcs.push((idx, RpcClient::new(rpc_cfg.clone(), rng.fork(100 + idx as u64))));
+            }
+        }
+
+        // MApp may start later (abrupt-onset experiments).
+        let initial_degree = if cfg.mapp_start == Nanos::ZERO {
+            cfg.mapp_degree
+        } else {
+            0.0
+        };
+        let rx = RxHost::new(cfg.host.clone(), initial_degree);
+
+        // DDIO pollution grows with MTU and flow count (Fig 3's DDIO
+        // trends); phenomenological scaling documented in DESIGN.md.
+        let mut rx = rx;
+        if cfg.host.ddio_enabled {
+            let pollution = (cfg.mtu as f64 / 4096.0).sqrt()
+                * (cfg.total_greedy_flows().max(1) as f64 / 4.0).sqrt();
+            rx.ddio_mut().set_pollution_factor(pollution.max(1.0));
+        }
+
+        let read_model = MsrReadModel::new(cfg.host.msr_read_mean, cfg.host.msr_read_jitter);
+        let hostcc = cfg.hostcc.clone().map(|hc_cfg| {
+            HostCc::new(
+                hc_cfg,
+                MsrReadModel::new(cfg.host.msr_read_mean, cfg.host.msr_read_jitter),
+                cfg.host.f_iio_ghz,
+                rng.fork(7),
+            )
+        });
+        let monitor = SignalSampler::new(
+            SignalConfig::default(),
+            read_model,
+            cfg.host.f_iio_ghz,
+            rng.fork(8),
+        );
+        let fault = FaultInjector::new(cfg.fault, rng.fork(9));
+
+        let tx_host = (cfg.sender_mapp_degree > 0.0)
+            .then(|| TxHost::new(cfg.host.clone(), cfg.sender_mapp_degree));
+        let tx_hostcc = (tx_host.is_some() && cfg.sender_hostcc).then(|| {
+            // The sender response defends the TX rate: echo is meaningless
+            // on the sender side (there is nothing to mark), so only the
+            // local response runs.
+            let mut hc_cfg = cfg.hostcc.clone().unwrap_or_else(|| {
+                if cfg.host.ddio_enabled {
+                    hostcc_core::HostCcConfig::paper_ddio()
+                } else {
+                    hostcc_core::HostCcConfig::paper_default()
+                }
+            });
+            hc_cfg.echo = false;
+            HostCc::new(
+                hc_cfg,
+                MsrReadModel::new(cfg.host.msr_read_mean, cfg.host.msr_read_jitter),
+                cfg.host.f_iio_ghz,
+                rng.fork(12),
+            )
+        });
+
+        let n_flows = flows.len();
+        let mut jitter_rng = rng.fork(11);
+        let ack_delay_of_flow = (0..n_flows)
+            .map(|_| cfg.ack_delay.scale(jitter_rng.jitter(1.0, 0.10)))
+            .collect();
+        let senders = (0..cfg.senders)
+            .map(|_| FqLink::new(Rate::gbps(100.0)))
+            .collect();
+        let switch = SwitchPort::new(cfg.switch);
+        let recording = cfg.record.then(Recording::new);
+        let tick = cfg.host.tick;
+
+        Simulation {
+            q: EventQueue::new(),
+            senders,
+            tx_host,
+            tx_hostcc,
+            switch,
+            rx,
+            hostcc,
+            echo: EcnEcho::new(),
+            monitor,
+            flows,
+            recvs,
+            sender_of_flow,
+            ack_delay_of_flow,
+            greedy,
+            rpcs,
+            fault,
+            corrupt_drops: 0,
+            flow_goodput: vec![0; n_flows],
+            copied_carry: 0.0,
+            last_advertised_rwnd: vec![u64::MAX; n_flows],
+            stats_base: vec![FlowStats::default(); n_flows],
+            switch_base: (0, 0, 0),
+            level_sum: 0.0,
+            level_ticks: 0,
+            is_sum: 0.0,
+            is_count: 0,
+            bs_sum: 0.0,
+            read_is_cdf: Cdf::new(),
+            read_bs_cdf: Cdf::new(),
+            recording,
+            mapp_started: cfg.mapp_start == Nanos::ZERO,
+            net_stopped: false,
+            policy: None,
+            next_tick: tick,
+            cfg,
+        }
+    }
+
+    /// Install a dynamic target-bandwidth policy (replaces the fixed B_T;
+    /// requires hostCC to be enabled).
+    pub fn set_target_policy(&mut self, policy: Box<dyn TargetPolicy>) {
+        assert!(
+            self.hostcc.is_some(),
+            "a target policy needs an active hostCC controller"
+        );
+        self.policy = Some(policy);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Nanos {
+        self.q.now()
+    }
+
+    /// The receiver host (inspection).
+    pub fn rx(&self) -> &RxHost {
+        &self.rx
+    }
+
+    /// The hostCC controller, if enabled.
+    pub fn hostcc(&self) -> Option<&HostCc> {
+        self.hostcc.as_ref()
+    }
+
+    /// Pin the MBA to a fixed response level for the whole run (the Fig 9
+    /// fixed-level sweep). Only meaningful without hostCC, which would
+    /// otherwise steer the level away.
+    pub fn force_mba_level(&mut self, level: u8) {
+        assert!(
+            self.hostcc.is_none(),
+            "force_mba_level conflicts with an active hostCC controller"
+        );
+        self.rx.mba_mut().force_level(level);
+    }
+
+    /// Run warm-up + measurement; returns the measured result.
+    pub fn run(&mut self) -> RunResult {
+        let warm_end = self.cfg.warmup;
+        self.advance_to(warm_end);
+        self.reset_window();
+        let end = warm_end + self.cfg.measure;
+        self.advance_to(end);
+        self.collect(self.cfg.measure)
+    }
+
+    /// Advance the simulation to `t_end`.
+    pub fn advance_to(&mut self, t_end: Nanos) {
+        while self.next_tick <= t_end {
+            let tick_at = self.next_tick;
+            while let Some((t, ev)) = self.q.pop_before(tick_at) {
+                self.handle(t, ev);
+            }
+            self.q.advance_to(tick_at);
+            self.tick(tick_at);
+            self.next_tick = tick_at + self.cfg.host.tick;
+        }
+    }
+
+    fn handle(&mut self, now: Nanos, ev: Ev) {
+        match ev {
+            Ev::Depart { sender, pkt } => {
+                self.q
+                    .schedule(now + self.cfg.link_prop, Ev::ArriveSwitch { pkt });
+                if let Some(Departure { at, pkt }) = self.senders[sender].on_depart(now) {
+                    self.q.schedule(at, Ev::Depart { sender, pkt });
+                }
+            }
+            Ev::ArriveSwitch { mut pkt } => {
+                match self.fault.apply() {
+                    FaultOutcome::Drop => return,
+                    FaultOutcome::Corrupt => {
+                        // Corrupted packets are dropped by the receiver's
+                        // checksum; they still traverse the switch, but we
+                        // short-circuit the host datapath for simplicity.
+                        self.corrupt_drops += 1;
+                        return;
+                    }
+                    FaultOutcome::Pass => {}
+                }
+                match self.switch.enqueue(now, pkt.wire_bytes()) {
+                    EnqueueOutcome::Dropped => {}
+                    EnqueueOutcome::Enqueued { departs, marked } => {
+                        if marked {
+                            pkt.mark_ce();
+                        }
+                        self.q
+                            .schedule(departs + self.cfg.link_prop, Ev::ArriveRxNic { pkt });
+                    }
+                }
+            }
+            Ev::ArriveRxNic { pkt } => {
+                // NIC buffer admission; drops are counted inside the host.
+                let _ = self.rx.on_wire_arrival(pkt, now);
+            }
+            Ev::DeliverStack { pkt } => {
+                let idx = pkt.flow.0 as usize;
+                let ack = self.recvs[idx].on_data(&pkt, now);
+                self.last_advertised_rwnd[idx] = ack.rwnd;
+                for c in self.recvs[idx].take_completed() {
+                    for (fi, rpc) in &mut self.rpcs {
+                        if *fi == idx {
+                            rpc.on_completion(c.end_offset, c.completed_at);
+                        }
+                    }
+                }
+                self.q.schedule(
+                    now + self.ack_delay_of_flow[idx],
+                    Ev::AckArrive {
+                        flow: pkt.flow.0,
+                        cum: ack.cum_ack,
+                        ece: ack.ece,
+                        rwnd: ack.rwnd,
+                        sack: ack.sack,
+                    },
+                );
+            }
+            Ev::AckArrive {
+                flow,
+                cum,
+                ece,
+                rwnd,
+                sack,
+            } => {
+                let idx = flow as usize;
+                self.flows[idx].on_ack_sack(now, cum, ece, rwnd, &sack);
+                self.pump_flow(idx, now);
+            }
+        }
+    }
+
+    fn pump_flow(&mut self, idx: usize, now: Nanos) {
+        let sender = self.sender_of_flow[idx];
+        while let Some(pkt) = self.flows[idx].poll_send(now) {
+            // Sender 0 may route through the sender host model (TX DMA).
+            if sender == 0 {
+                if let Some(tx) = &mut self.tx_host {
+                    tx.enqueue(pkt);
+                    continue;
+                }
+            }
+            if let Some(Departure { at, pkt }) = self.senders[sender].enqueue(now, pkt) {
+                self.q.schedule(at, Ev::Depart { sender, pkt });
+            }
+        }
+    }
+
+    fn tick(&mut self, now: Nanos) {
+        // MApp onset.
+        if !self.mapp_started && now >= self.cfg.mapp_start {
+            self.rx.mapp_mut().set_degree(self.cfg.mapp_degree);
+            self.mapp_started = true;
+        }
+        // Network demand ending (policy-layer studies).
+        if let Some(stop) = self.cfg.net_stop {
+            if !self.net_stopped && now >= stop {
+                for &i in &self.greedy {
+                    self.flows[i].stop_app();
+                }
+                self.net_stopped = true;
+            }
+        }
+
+        // 0. Sender host datapath: TX DMA releases packets to the NIC.
+        if let Some(tx) = &mut self.tx_host {
+            for pkt in tx.tick(now) {
+                if let Some(Departure { at, pkt }) = self.senders[0].enqueue(now, pkt) {
+                    self.q.schedule(at, Ev::Depart { sender: 0, pkt });
+                }
+            }
+            if let Some(hc) = &mut self.tx_hostcc {
+                let (msr, mba) = tx.msr_and_mba();
+                hc.on_tick(now, msr, mba);
+            }
+        }
+
+        // 1. Host datapath.
+        let out = self.rx.tick(now);
+
+        // 2. hostCC control loop.
+        let mark = if let Some(hc) = &mut self.hostcc {
+            if let Some(policy) = &mut self.policy {
+                let bt = policy.target(now, hc.bs());
+                hc.set_bt(bt);
+            }
+            let nic_backlog = self.rx.nic_backlog_bytes();
+            let (msr, mba) = self.rx.msr_and_mba();
+            hc.on_tick_with_nic(now, msr, nic_backlog, mba);
+            hc.should_mark()
+        } else {
+            false
+        };
+
+        // 3. Deliveries: receiver-side ECN echo, then up the stack.
+        for d in out.delivered {
+            let mut pkt = d.pkt;
+            self.echo.process(&mut pkt, mark);
+            self.q
+                .schedule(now + self.cfg.rx_stack_delay, Ev::DeliverStack { pkt });
+        }
+
+        // 4. Copy engine drain → per-flow application reads → goodput and
+        //    receive-window reopening.
+        self.copied_carry += out.copied_app_bytes;
+        if self.copied_carry >= 1.0 {
+            let total_unconsumed: u64 = self.recvs.iter().map(|r| r.unconsumed()).sum();
+            if total_unconsumed > 0 {
+                let drainable = (self.copied_carry as u64).min(total_unconsumed);
+                let mut remaining = drainable;
+                let n = self.recvs.len();
+                for i in 0..n {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let share = ((drainable as u128 * self.recvs[i].unconsumed() as u128)
+                        / total_unconsumed as u128) as u64;
+                    let take = self.recvs[i].app_read(share.min(remaining));
+                    self.flow_goodput[i] += take;
+                    remaining -= take;
+                }
+                // Round-off leftovers: first-come, first-served.
+                for i in 0..n {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = self.recvs[i].app_read(remaining);
+                    self.flow_goodput[i] += take;
+                    remaining -= take;
+                }
+                self.copied_carry -= (drainable - remaining) as f64;
+            }
+        }
+
+        // 5. Receive-window reopening: if a flow's advertised window was
+        //    closed below one MSS and the application has since drained the
+        //    socket, send a window update (Linux does the same).
+        let mss = self.cfg.mss();
+        for i in 0..self.recvs.len() {
+            let rwnd = self.recvs[i].rwnd();
+            if self.last_advertised_rwnd[i] < mss && rwnd >= mss {
+                self.last_advertised_rwnd[i] = rwnd;
+                self.q.schedule(
+                    now + self.ack_delay_of_flow[i],
+                    Ev::AckArrive {
+                        flow: i as u32,
+                        cum: self.recvs[i].cum_ack(),
+                        ece: false,
+                        rwnd,
+                        sack: [None; 3],
+                    },
+                );
+            }
+        }
+
+        // 6. Monitoring sampler (independent of hostCC).
+        if let Some(sample) = self.monitor.maybe_sample(now, self.rx.msr()) {
+            self.is_sum += sample.is;
+            self.bs_sum += sample.bs.as_bytes_per_ns();
+            self.is_count += 1;
+            self.read_is_cdf.record(sample.read_is);
+            self.read_bs_cdf.record(sample.read_bs);
+            if let Some(rec) = &mut self.recording {
+                rec.is_raw.push(now, sample.is_raw);
+                rec.is_ewma.push(now, sample.is);
+                rec.bs_gbps.push(now, sample.bs_raw.as_gbps());
+                let level = self
+                    .hostcc
+                    .as_ref()
+                    .map(|_| f64::from(self.rx.mba().requested_level()))
+                    .unwrap_or(0.0);
+                rec.level.push(now, level);
+                rec.nic_backlog.push(now, self.rx.nic_backlog_bytes() as f64);
+            }
+        }
+        let eff_level = f64::from(self.rx.mba_mut().effective_level(now));
+        self.level_sum += eff_level;
+        self.level_ticks += 1;
+
+        // 7. Workloads and flow timers.
+        for k in 0..self.rpcs.len() {
+            let (idx, _) = self.rpcs[k];
+            let (_, rpc) = &mut self.rpcs[k];
+            let flow = &mut self.flows[idx];
+            rpc.maybe_send(now, flow);
+        }
+        for i in 0..self.flows.len() {
+            self.flows[i].on_tick(now);
+            self.pump_flow(i, now);
+        }
+    }
+
+    /// Reset all measurement windows (end of warm-up).
+    fn reset_window(&mut self) {
+        self.rx.reset_window();
+        if let Some(tx) = &mut self.tx_host {
+            tx.reset_window();
+        }
+        self.echo.reset_window();
+        for (i, f) in self.flows.iter().enumerate() {
+            self.stats_base[i] = f.stats;
+        }
+        self.switch_base = (
+            self.switch.drops(),
+            self.switch.marks(),
+            self.switch.forwarded(),
+        );
+        self.flow_goodput.fill(0);
+        self.level_sum = 0.0;
+        self.level_ticks = 0;
+        self.is_sum = 0.0;
+        self.is_count = 0;
+        self.bs_sum = 0.0;
+        self.read_is_cdf = Cdf::new();
+        self.read_bs_cdf = Cdf::new();
+        self.corrupt_drops = 0;
+        for (_, rpc) in &mut self.rpcs {
+            rpc.reset_window();
+        }
+        if let Some(rec) = &mut self.recording {
+            *rec = Recording::new();
+        }
+    }
+
+    fn collect(&mut self, window: Nanos) -> RunResult {
+        let wns = window.as_nanos() as f64;
+        let greedy_bytes: u64 = self.greedy.iter().map(|&i| self.flow_goodput[i]).sum();
+        let all_bytes: u64 = self.flow_goodput.iter().sum();
+        let data_packets: u64 = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| f.stats.sent - self.stats_base[i].sent)
+            .sum();
+        let retransmits: u64 = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| f.stats.retransmits - self.stats_base[i].retransmits)
+            .sum();
+        let timeouts: u64 = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| f.stats.timeouts - self.stats_base[i].timeouts)
+            .sum();
+        let tlp_probes: u64 = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| f.stats.tlp_probes - self.stats_base[i].tlp_probes)
+            .sum();
+        let nic_drops = self.rx.nic_drops();
+        let switch_drops = self.switch.drops() - self.switch_base.0;
+        let fabric_marks = self.switch.marks() - self.switch_base.1;
+        let total_drops = nic_drops + switch_drops + self.corrupt_drops;
+        let drop_rate_pct = if data_packets == 0 {
+            0.0
+        } else {
+            100.0 * total_drops as f64 / data_packets as f64
+        };
+        let mem_peak = self.cfg.host.mem_peak;
+        let net_mem_util = self.rx.net_mem_rate(window) / mem_peak;
+        let mapp_mem_util = self.rx.mapp_mem_rate(window) / mem_peak;
+        let mapp_app_gbps = self.rx.mapp_app_rate(window).as_gbps();
+
+        let rpc = self
+            .rpcs
+            .iter()
+            .flat_map(|(_, c)| c.histograms.iter())
+            .fold(
+                std::collections::HashMap::<u64, RpcResult>::new(),
+                |mut acc, (&size, h)| {
+                    let e = acc.entry(size).or_insert_with(|| RpcResult {
+                        histogram: hostcc_metrics::Histogram::new(),
+                        count: 0,
+                    });
+                    e.histogram.merge(h);
+                    e.count += h.count();
+                    acc
+                },
+            );
+
+        RunResult {
+            window,
+            goodput: Rate::bytes_per_ns(greedy_bytes as f64 / wns),
+            goodput_all: Rate::bytes_per_ns(all_bytes as f64 / wns),
+            drop_rate_pct,
+            nic_drops,
+            switch_drops,
+            data_packets,
+            nic_peak_bytes: self.rx.nic_peak_bytes(),
+            net_mem_util,
+            mapp_mem_util,
+            mapp_app_gbps,
+            retransmits,
+            timeouts,
+            tlp_probes,
+            host_marks: self.echo.host_marks,
+            fabric_marks,
+            mean_is: if self.is_count > 0 {
+                self.is_sum / self.is_count as f64
+            } else {
+                0.0
+            },
+            mean_bs: Rate::bytes_per_ns(if self.is_count > 0 {
+                self.bs_sum / self.is_count as f64
+            } else {
+                0.0
+            }),
+            mean_level: if self.level_ticks > 0 {
+                self.level_sum / self.level_ticks as f64
+            } else {
+                0.0
+            },
+            mba_writes: self.rx.mba().writes(),
+            rpc,
+            read_is_cdf: std::mem::take(&mut self.read_is_cdf),
+            read_bs_cdf: std::mem::take(&mut self.read_bs_cdf),
+            recording: self.recording.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mut s: Scenario) -> RunResult {
+        s.warmup = Nanos::from_millis(2);
+        s.measure = Nanos::from_millis(4);
+        Simulation::new(s).run()
+    }
+
+    #[test]
+    fn uncongested_baseline_saturates_link() {
+        let r = quick(Scenario::paper_baseline());
+        assert!(
+            r.goodput_gbps() > 90.0,
+            "uncongested DCTCP ≈ line rate, got {:.1} Gbps",
+            r.goodput_gbps()
+        );
+        assert!(r.drop_rate_pct < 0.01, "drops = {}", r.drop_rate_pct);
+        // Uncongested I_S anchor ≈ 65.
+        assert!(
+            (55.0..75.0).contains(&r.mean_is),
+            "mean I_S = {}",
+            r.mean_is
+        );
+    }
+
+    #[test]
+    fn severe_congestion_degrades_throughput_and_drops() {
+        let r = quick(Scenario::with_congestion(3.0));
+        assert!(
+            (30.0..60.0).contains(&r.goodput_gbps()),
+            "3x congestion: got {:.1} Gbps, paper ≈ 43",
+            r.goodput_gbps()
+        );
+        assert!(
+            r.drop_rate_pct > 0.05,
+            "3x congestion must drop packets: {}",
+            r.drop_rate_pct
+        );
+        assert!(r.nic_drops > 0);
+        assert_eq!(r.switch_drops, 0, "no fabric congestion in this setup");
+    }
+
+    #[test]
+    fn hostcc_restores_target_bandwidth_and_reduces_drops() {
+        let base = quick(Scenario::with_congestion(3.0));
+        let hcc = quick(Scenario::with_congestion(3.0).enable_hostcc());
+        assert!(
+            hcc.goodput_gbps() > 70.0,
+            "hostCC must approach B_T = 80: got {:.1}",
+            hcc.goodput_gbps()
+        );
+        assert!(
+            hcc.drop_rate_pct < base.drop_rate_pct / 5.0,
+            "hostCC drops {} vs baseline {}",
+            hcc.drop_rate_pct,
+            base.drop_rate_pct
+        );
+        assert!(hcc.host_marks > 0, "echo must mark packets");
+        assert!(hcc.mba_writes > 0, "local response must actuate");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(Scenario::with_congestion(2.0));
+        let b = quick(Scenario::with_congestion(2.0));
+        assert_eq!(a.goodput.as_gbps(), b.goodput.as_gbps());
+        assert_eq!(a.nic_drops, b.nic_drops);
+        assert_eq!(a.data_packets, b.data_packets);
+    }
+}

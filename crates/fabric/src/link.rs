@@ -1,0 +1,135 @@
+//! A serializing, propagating point-to-point link.
+
+use serde::{Deserialize, Serialize};
+
+use hostcc_sim::{Nanos, Rate};
+
+/// A point-to-point link with a serialization rate and propagation delay.
+///
+/// `transmit` models the NIC's wire: each packet occupies the transmitter
+/// for `bytes / rate` starting no earlier than the previous packet finished,
+/// then propagates for `propagation`. The returned value is the time the
+/// **last bit** arrives at the far end — the moment the receiving NIC can
+/// enqueue the packet.
+///
+/// The paper's testbed RTT is ~44 µs (it describes the 22 µs MBA write
+/// latency as "2× smaller than our network RTT"), which for two hops each
+/// way means ~8–10 µs of one-way per-link delay including stack overheads;
+/// the default scenario configuration uses that value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    rate: Rate,
+    propagation: Nanos,
+    /// Time the transmitter becomes free.
+    busy_until: Nanos,
+    /// Total bytes ever serialized (diagnostics).
+    bytes_sent: u64,
+}
+
+impl Link {
+    /// A link with the given serialization rate and propagation delay.
+    pub fn new(rate: Rate, propagation: Nanos) -> Self {
+        assert!(!rate.is_zero(), "link rate must be positive");
+        Link {
+            rate,
+            propagation,
+            busy_until: Nanos::ZERO,
+            bytes_sent: 0,
+        }
+    }
+
+    /// The serialization rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// The propagation delay.
+    pub fn propagation(&self) -> Nanos {
+        self.propagation
+    }
+
+    /// Transmit `bytes` starting no earlier than `now`; returns
+    /// `(transmit_complete, arrival)` — when the transmitter frees up and
+    /// when the last bit reaches the far end.
+    pub fn transmit(&mut self, now: Nanos, bytes: u64) -> (Nanos, Nanos) {
+        let start = now.max(self.busy_until);
+        let done = start + self.rate.time_for_bytes(bytes);
+        self.busy_until = done;
+        self.bytes_sent += bytes;
+        (done, done + self.propagation)
+    }
+
+    /// When the transmitter next becomes free.
+    pub fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+
+    /// Backlog the transmitter is committed to, as seen at `now`.
+    pub fn queued_delay(&self, now: Nanos) -> Nanos {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// Total bytes ever serialized.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link_100g() -> Link {
+        Link::new(Rate::gbps(100.0), Nanos::from_micros(2))
+    }
+
+    #[test]
+    fn single_packet_timing() {
+        let mut l = link_100g();
+        let (done, arrival) = l.transmit(Nanos::ZERO, 4096);
+        // 4096 B at 12.5 B/ns = 328 ns (ceil).
+        assert_eq!(done, Nanos::from_nanos(328));
+        assert_eq!(arrival, Nanos::from_nanos(328) + Nanos::from_micros(2));
+    }
+
+    #[test]
+    fn back_to_back_serialization() {
+        let mut l = link_100g();
+        let (done1, _) = l.transmit(Nanos::ZERO, 4096);
+        let (done2, _) = l.transmit(Nanos::ZERO, 4096);
+        assert_eq!(done2, done1 + Nanos::from_nanos(328));
+    }
+
+    #[test]
+    fn idle_gap_resets_start() {
+        let mut l = link_100g();
+        l.transmit(Nanos::ZERO, 4096);
+        let late = Nanos::from_micros(100);
+        let (done, _) = l.transmit(late, 4096);
+        assert_eq!(done, late + Nanos::from_nanos(328));
+    }
+
+    #[test]
+    fn queued_delay_reflects_backlog() {
+        let mut l = link_100g();
+        for _ in 0..10 {
+            l.transmit(Nanos::ZERO, 4096);
+        }
+        assert_eq!(l.queued_delay(Nanos::ZERO), Nanos::from_nanos(3280));
+        assert_eq!(l.queued_delay(Nanos::from_micros(10)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn accounts_bytes() {
+        let mut l = link_100g();
+        l.transmit(Nanos::ZERO, 1000);
+        l.transmit(Nanos::ZERO, 500);
+        assert_eq!(l.bytes_sent(), 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "link rate must be positive")]
+    fn zero_rate_rejected() {
+        Link::new(Rate::ZERO, Nanos::ZERO);
+    }
+}

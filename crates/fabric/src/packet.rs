@@ -1,0 +1,184 @@
+//! The simulated wire format.
+
+use serde::{Deserialize, Serialize};
+
+use hostcc_sim::Nanos;
+
+/// Identifies a transport flow (a 4-tuple in real life).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub u32);
+
+/// The ECN field of the (simulated) IP header.
+///
+/// hostCC performs receiver-side marking exactly like a switch would
+/// (paper §4.3): set CE before the datagram reaches the transport layer;
+/// if the switch already marked the packet, nothing changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EcnCodepoint {
+    /// Not ECN-capable transport.
+    NotEct,
+    /// ECN-capable, not marked.
+    Ect0,
+    /// Congestion experienced.
+    Ce,
+}
+
+impl EcnCodepoint {
+    /// Apply a congestion mark (switch or hostCC echo). NotEct traffic is
+    /// never marked — it would be dropped by a real AQM instead, but our
+    /// simulated transports are always ECN-capable.
+    #[must_use]
+    pub fn marked(self) -> EcnCodepoint {
+        match self {
+            EcnCodepoint::NotEct => EcnCodepoint::NotEct,
+            _ => EcnCodepoint::Ce,
+        }
+    }
+
+    /// Whether the codepoint is CE.
+    pub fn is_ce(self) -> bool {
+        matches!(self, EcnCodepoint::Ce)
+    }
+}
+
+/// Transport-level contents of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketBody {
+    /// A data segment: `[seq, seq + len)` in the flow's byte stream.
+    Data {
+        /// First byte-stream offset carried.
+        seq: u64,
+        /// Payload length in bytes.
+        len: u32,
+        /// Set on the last segment of an RPC message (pushes delivery).
+        msg_end: bool,
+    },
+    /// A cumulative ACK.
+    Ack {
+        /// Next expected byte-stream offset.
+        cum_ack: u64,
+        /// ECN-Echo: receiver saw CE on the data packet(s) this acknowledges.
+        ece: bool,
+        /// Receiver's advertised window in bytes (flow control).
+        rwnd: u64,
+    },
+}
+
+/// A simulated packet.
+///
+/// Payload contents are never materialized — only sizes flow through the
+/// simulation — which keeps memory flat no matter how much traffic runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Globally unique id (diagnostics; never used for matching).
+    pub id: u64,
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Data or ACK.
+    pub body: PacketBody,
+    /// ECN field.
+    pub ecn: EcnCodepoint,
+    /// Simulated protocol header bytes (Ethernet+IP+TCP ≈ 66; we use 66).
+    pub header_bytes: u32,
+    /// Time the sender's transport handed the packet to the NIC.
+    pub sent_at: Nanos,
+    /// True if this transmission is a retransmission (diagnostics).
+    pub retransmit: bool,
+}
+
+/// Default simulated header size: Ethernet (14) + IPv4 (20) + TCP (32,
+/// with options) = 66 bytes.
+pub const HEADER_BYTES: u32 = 66;
+
+impl Packet {
+    /// Construct a data packet.
+    pub fn data(id: u64, flow: FlowId, seq: u64, len: u32, msg_end: bool, now: Nanos) -> Packet {
+        Packet {
+            id,
+            flow,
+            body: PacketBody::Data { seq, len, msg_end },
+            ecn: EcnCodepoint::Ect0,
+            header_bytes: HEADER_BYTES,
+            sent_at: now,
+            retransmit: false,
+        }
+    }
+
+    /// Construct an ACK packet.
+    pub fn ack(id: u64, flow: FlowId, cum_ack: u64, ece: bool, rwnd: u64, now: Nanos) -> Packet {
+        Packet {
+            id,
+            flow,
+            body: PacketBody::Ack { cum_ack, ece, rwnd },
+            ecn: EcnCodepoint::Ect0,
+            header_bytes: HEADER_BYTES,
+            sent_at: now,
+            retransmit: false,
+        }
+    }
+
+    /// Bytes this packet occupies on the wire (headers + payload).
+    pub fn wire_bytes(&self) -> u64 {
+        let payload = match self.body {
+            PacketBody::Data { len, .. } => len,
+            PacketBody::Ack { .. } => 0,
+        };
+        (self.header_bytes + payload) as u64
+    }
+
+    /// Payload bytes (zero for ACKs).
+    pub fn payload_bytes(&self) -> u64 {
+        match self.body {
+            PacketBody::Data { len, .. } => len as u64,
+            PacketBody::Ack { .. } => 0,
+        }
+    }
+
+    /// Whether this is a data packet.
+    pub fn is_data(&self) -> bool {
+        matches!(self.body, PacketBody::Data { .. })
+    }
+
+    /// Mark the packet CE in place (switch AQM or hostCC echo).
+    pub fn mark_ce(&mut self) {
+        self.ecn = self.ecn.marked();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_includes_header() {
+        let p = Packet::data(1, FlowId(0), 0, 4030, false, Nanos::ZERO);
+        assert_eq!(p.wire_bytes(), 4030 + 66);
+        assert_eq!(p.payload_bytes(), 4030);
+    }
+
+    #[test]
+    fn ack_has_no_payload() {
+        let a = Packet::ack(2, FlowId(0), 100, true, 65535, Nanos::ZERO);
+        assert_eq!(a.wire_bytes(), 66);
+        assert_eq!(a.payload_bytes(), 0);
+        assert!(!a.is_data());
+    }
+
+    #[test]
+    fn ecn_marking() {
+        let mut p = Packet::data(1, FlowId(0), 0, 100, false, Nanos::ZERO);
+        assert!(!p.ecn.is_ce());
+        p.mark_ce();
+        assert!(p.ecn.is_ce());
+        // Idempotent.
+        p.mark_ce();
+        assert!(p.ecn.is_ce());
+    }
+
+    #[test]
+    fn not_ect_is_never_marked() {
+        assert_eq!(EcnCodepoint::NotEct.marked(), EcnCodepoint::NotEct);
+        assert_eq!(EcnCodepoint::Ect0.marked(), EcnCodepoint::Ce);
+        assert_eq!(EcnCodepoint::Ce.marked(), EcnCodepoint::Ce);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the fabric crate.
+
+use hostcc_fabric::{Departure, EnqueueOutcome, FlowId, FqLink, Link, Packet, SwitchPort,
+    SwitchPortConfig};
+use hostcc_sim::{Nanos, Rate, Rng};
+use proptest::prelude::*;
+
+fn pkt(flow: u32, id: u64, len: u32) -> Packet {
+    Packet::data(id, FlowId(flow), 0, len, false, Nanos::ZERO)
+}
+
+proptest! {
+    /// FqLink conservation: every enqueued packet departs exactly once,
+    /// departures are time-monotone, and consecutive departures are spaced
+    /// by at least the serialization time of the departing packet.
+    #[test]
+    fn fq_link_conserves_and_serializes(
+        pkts in prop::collection::vec((0u32..5, 100u32..9000), 1..120),
+    ) {
+        let rate = Rate::gbps(100.0);
+        let mut l = FqLink::new(rate);
+        let mut pending: Option<Departure> = None;
+        let mut departed = Vec::new();
+        for (i, &(flow, len)) in pkts.iter().enumerate() {
+            if let Some(d) = l.enqueue(Nanos::ZERO, pkt(flow, i as u64, len)) {
+                prop_assert!(pending.is_none(), "two in service at once");
+                pending = Some(d);
+            }
+        }
+        let mut last = Nanos::ZERO;
+        while let Some(d) = pending {
+            prop_assert!(d.at >= last);
+            // Spacing: this packet needed at least its serialization time.
+            let ser = rate.time_for_bytes(d.pkt.wire_bytes());
+            prop_assert!(d.at >= last + ser - Nanos::from_nanos(1) || last == Nanos::ZERO);
+            last = d.at;
+            departed.push(d.pkt.id);
+            pending = l.on_depart(d.at);
+        }
+        prop_assert_eq!(departed.len(), pkts.len(), "conservation");
+        let mut sorted = departed.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), pkts.len(), "no duplicates");
+        prop_assert_eq!(l.backlog_bytes(), 0);
+    }
+
+    /// FqLink fairness: with two continuously backlogged flows of equal
+    /// packet size, departures alternate (max run length 2 at the start).
+    #[test]
+    fn fq_link_round_robin_fairness(n in 4usize..40) {
+        let mut l = FqLink::new(Rate::gbps(100.0));
+        let mut pending = None;
+        for i in 0..n {
+            for f in 0..2u32 {
+                if let Some(d) = l.enqueue(Nanos::ZERO, pkt(f, (f as u64) << 32 | i as u64, 1500)) {
+                    pending = Some(d);
+                }
+            }
+        }
+        let mut flows = Vec::new();
+        while let Some(d) = pending {
+            flows.push(d.pkt.flow.0);
+            pending = l.on_depart(d.at);
+        }
+        // No flow is ever served 3 times in a row.
+        for w in flows.windows(3) {
+            prop_assert!(!(w[0] == w[1] && w[1] == w[2]), "run of 3: {flows:?}");
+        }
+    }
+
+    /// Switch port: backlog never exceeds capacity; accepted + dropped =
+    /// offered; departures are FIFO-ordered.
+    #[test]
+    fn switch_port_invariants(
+        seed in any::<u64>(),
+        k_frac in 0.1f64..1.0,
+        offered in 1usize..300,
+    ) {
+        let buffer = 64 * 1024;
+        let cfg = SwitchPortConfig {
+            rate: Rate::gbps(100.0),
+            buffer_bytes: buffer,
+            ecn_threshold_bytes: (buffer as f64 * k_frac) as u64,
+        };
+        let mut p = SwitchPort::new(cfg);
+        let mut rng = Rng::new(seed);
+        let mut now = Nanos::ZERO;
+        let mut last_depart = Nanos::ZERO;
+        let mut accepted = 0u64;
+        for _ in 0..offered {
+            now += Nanos::from_nanos(rng.below(400));
+            let bytes = 100 + rng.below(9000);
+            match p.enqueue(now, bytes) {
+                EnqueueOutcome::Enqueued { departs, .. } => {
+                    prop_assert!(departs >= last_depart, "FIFO departures");
+                    last_depart = departs;
+                    accepted += 1;
+                }
+                EnqueueOutcome::Dropped => {}
+            }
+            prop_assert!(p.backlog_bytes(now) <= buffer);
+        }
+        prop_assert_eq!(accepted, p.forwarded());
+        prop_assert_eq!(p.forwarded() + p.drops(), offered as u64);
+    }
+
+    /// Marks happen iff the backlog exceeded K at arrival: a port with
+    /// K = capacity never marks; a port with K = 0 marks everything that
+    /// arrives to a non-empty queue.
+    #[test]
+    fn switch_marking_boundaries(offered in 2usize..100) {
+        let buffer = 1 << 20;
+        let mut never = SwitchPort::new(SwitchPortConfig {
+            rate: Rate::gbps(100.0),
+            buffer_bytes: buffer,
+            ecn_threshold_bytes: buffer,
+        });
+        let mut always = SwitchPort::new(SwitchPortConfig {
+            rate: Rate::gbps(100.0),
+            buffer_bytes: buffer,
+            ecn_threshold_bytes: 0,
+        });
+        for _ in 0..offered {
+            never.enqueue(Nanos::ZERO, 1500);
+            always.enqueue(Nanos::ZERO, 1500);
+        }
+        prop_assert_eq!(never.marks(), 0);
+        // First packet arrives to an empty queue (backlog 0 = K), the rest
+        // are marked.
+        prop_assert_eq!(always.marks(), offered as u64 - 1);
+    }
+
+    /// Plain Link: arrival times are monotone and spaced by serialization.
+    #[test]
+    fn link_serialization_spacing(sizes in prop::collection::vec(64u64..9000, 1..100)) {
+        let rate = Rate::gbps(100.0);
+        let mut l = Link::new(rate, Nanos::from_micros(5));
+        let mut last_arrival = Nanos::ZERO;
+        for &s in &sizes {
+            let (_, arrival) = l.transmit(Nanos::ZERO, s);
+            prop_assert!(arrival >= last_arrival + rate.time_for_bytes(s) - Nanos::from_nanos(1)
+                || last_arrival == Nanos::ZERO);
+            prop_assert!(arrival > last_arrival);
+            last_arrival = arrival;
+        }
+        prop_assert_eq!(l.bytes_sent(), sizes.iter().sum::<u64>());
+    }
+}

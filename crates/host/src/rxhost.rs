@@ -1,0 +1,507 @@
+//! The composed receiver host: NIC → PCIe → IIO → memory, with MApp, the
+//! copy engine, DDIO, MBA and the MSR counter bank.
+//!
+//! [`RxHost`] is advanced by the experiment driver on a fixed tick
+//! (default 100 ns). Packet arrivals are event-driven
+//! ([`RxHost::on_wire_arrival`]); everything on the host side — PCIe
+//! streaming under credit flow control, IIO admission under memory-
+//! controller arbitration, MApp and copy progress — integrates per tick.
+//!
+//! The tick implements the paper's domino effect end to end (§2.1): when
+//! the memory controller backs up, IIO admission slows, the IIO buffer
+//! fills, PCIe credits stop replenishing, the NIC cannot stream, the NIC
+//! SRAM fills, and packets drop — all without any component knowing about
+//! any other beyond its direct neighbour.
+
+use hostcc_fabric::Packet;
+use hostcc_sim::{Nanos, Rate};
+
+use crate::config::{HostConfig, CACHELINE};
+use crate::copy_engine::CopyEngine;
+use crate::ddio::Ddio;
+use crate::iio::IioBuffer;
+use crate::mapp::MApp;
+use crate::mba::Mba;
+use crate::memctrl::{Demand, MemoryController};
+use crate::msr::MsrBank;
+use crate::nic::NicRxQueue;
+use crate::pcie::WirePipe;
+
+/// A packet delivered to the network stack, with datapath timestamps.
+#[derive(Debug, Clone)]
+pub struct Delivered {
+    /// The packet.
+    pub pkt: Packet,
+    /// When it was enqueued in the NIC buffer (wire arrival).
+    pub nic_at: Nanos,
+    /// When its DMA completed (admission past its last byte).
+    pub delivered_at: Nanos,
+}
+
+/// Per-tick output of the host datapath.
+#[derive(Debug, Default)]
+pub struct TickOutput {
+    /// Packets whose DMA completed this tick, in order.
+    pub delivered: Vec<Delivered>,
+    /// Application bytes the copy engine finished this tick (drain socket
+    /// buffers / count goodput).
+    pub copied_app_bytes: f64,
+    /// Instantaneous IIO occupancy in cachelines (ground truth — the MSRs
+    /// expose only the cumulative integral of this).
+    pub occupancy_cl: f64,
+    /// Bytes inserted into the IIO from the PCIe this tick.
+    pub inserted_bytes: f64,
+}
+
+/// The receiver host model.
+#[derive(Debug)]
+pub struct RxHost {
+    cfg: HostConfig,
+    nic: NicRxQueue,
+    wire: WirePipe,
+    iio: IioBuffer,
+    mc: MemoryController,
+    mapp: MApp,
+    copy: CopyEngine,
+    ddio: Ddio,
+    mba: Mba,
+    msr: MsrBank,
+    /// Wire payload bytes delivered in the current window.
+    pub delivered_payload_bytes: u64,
+    /// Packets delivered in the current window.
+    pub delivered_packets: u64,
+    last_tick_at: Nanos,
+}
+
+impl RxHost {
+    /// Build a host with the given configuration and MApp degree.
+    pub fn new(cfg: HostConfig, mapp_degree: f64) -> Self {
+        cfg.validate();
+        let nic = NicRxQueue::new(cfg.nic_buffer_bytes);
+        let mba = Mba::new(cfg.mba_added_latency, cfg.mba_write_latency);
+        RxHost {
+            nic,
+            wire: WirePipe::new(),
+            iio: IioBuffer::new(),
+            mc: MemoryController::new(),
+            mapp: MApp::new(mapp_degree),
+            copy: CopyEngine::new(),
+            ddio: Ddio::new(),
+            mba,
+            msr: MsrBank::new(),
+            delivered_payload_bytes: 0,
+            delivered_packets: 0,
+            last_tick_at: Nanos::ZERO,
+            cfg,
+        }
+    }
+
+    /// The host configuration.
+    pub fn cfg(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    /// A packet's last bit arrived at the NIC. Returns `false` when the
+    /// NIC buffer tail-drops it.
+    pub fn on_wire_arrival(&mut self, pkt: Packet, now: Nanos) -> bool {
+        let dma = (pkt.wire_bytes() as f64 * self.cfg.pcie_overhead).ceil() as u64;
+        self.nic.offer(pkt, dma, now)
+    }
+
+    /// Advance the datapath to `now` (one tick of `cfg.tick`).
+    pub fn tick(&mut self, now: Nanos) -> TickOutput {
+        let dt = self.cfg.tick;
+        debug_assert!(now >= self.last_tick_at);
+        self.last_tick_at = now;
+
+        // 1. Actuator state.
+        let mba_added = self.mba.effective_added_latency(now);
+
+        // 2. Demands against the memory controller.
+        let l_mem = self.mc.l_mem(&self.cfg);
+        // LLC churn from host-local traffic drives DDIO evictions.
+        let mapp_util =
+            self.mapp.mem_rate_estimate().as_bytes_per_ns() / self.cfg.mem_peak.as_bytes_per_ns();
+        self.ddio.set_mapp_util(mapp_util);
+        let e = self.ddio.eviction_fraction(&self.cfg);
+        let credit_cl = self.cfg.pcie_max_credit_cl as f64;
+        // The IIO's arbitration weight counts every credit-holding request
+        // — waiting in the buffer *or* in transit on the PCIe wire: all of
+        // it is committed network traffic the controller must serve, and
+        // under stall it totals exactly the credit limit (the paper's
+        // "maximum number of requests issued by IIO … dependent on the
+        // PCIe credit limit", §2.2).
+        let iio_inflight_cl =
+            (self.iio.waiting_bytes() + self.wire.inflight_bytes()) / CACHELINE as f64;
+        let iio_demand = Demand {
+            // Only the evicted fraction costs memory-write bandwidth.
+            bytes: e * self.iio.waiting_bytes(),
+            weight: self.cfg.weight_iio * iio_inflight_cl.min(credit_cl),
+        };
+        let mapp_demand = self.mapp.demand(&self.cfg, mba_added, dt);
+        let copy_demand = self.copy.demand(&self.cfg, l_mem, dt);
+
+        // 3. Arbitrate.
+        #[cfg(feature = "dbg")]
+        if now.as_nanos() % 1_000_000 == 0 {
+            eprintln!("t={} iio(d={:.0},w={:.1}) mapp(d={:.0},w={:.1}) copy(d={:.0},w={:.1}) l_mem={}",
+                now, iio_demand.bytes, iio_demand.weight, mapp_demand.bytes, mapp_demand.weight,
+                copy_demand.bytes, copy_demand.weight, l_mem);
+        }
+        let grants = self.mc.tick(&self.cfg, dt, iio_demand, mapp_demand, copy_demand);
+        #[cfg(feature = "dbg")]
+        if now.as_nanos() % 1_000_000 == 0 {
+            eprintln!("   grants iio={:.0} mapp={:.0} copy={:.0} sat={}", grants.iio, grants.mapp, grants.copy, grants.saturated);
+        }
+
+        // 4. IIO admission: the grant covers the evicted fraction; DDIO
+        //    hits ride along without consuming memory bandwidth.
+        let admit = if e > 0.0 {
+            (grants.iio / e).min(self.iio.waiting_bytes())
+        } else {
+            self.iio.waiting_bytes()
+        };
+        let delivered_raw = self.iio.admit(admit);
+        self.ddio.on_dma(&self.cfg, (1.0 - e) * admit);
+
+        // 5. MApp and copy progress.
+        self.mapp.serve(grants.mapp, dt);
+        let copied = self.copy.serve(&self.cfg, grants.copy);
+        self.ddio.on_consumed(&self.cfg, copied);
+
+        // 6. Deliver packets: payload enters the copy backlog.
+        let mut delivered = Vec::with_capacity(delivered_raw.len());
+        for spkt in delivered_raw {
+            let payload = spkt.pkt.payload_bytes();
+            self.copy.push(&self.cfg, payload as f64);
+            self.delivered_payload_bytes += payload;
+            self.delivered_packets += 1;
+            delivered.push(Delivered {
+                pkt: spkt.pkt,
+                nic_at: spkt.enqueued_at,
+                delivered_at: now,
+            });
+        }
+
+        // 7. Occupancy: waiting entries (measured after admission, before
+        //    this tick's fresh insertions, to avoid counting bytes that a
+        //    continuous system would have admitted within the tick) plus
+        //    the service pipeline tail (admitted but not yet completed —
+        //    Little's law on the blended write latency), capped by the
+        //    credit limit the paper observes as the I_S ceiling.
+        let l_blend = self.ddio.blended_latency(&self.cfg, self.mc.l_mem(&self.cfg));
+        let tail_cl = (admit / dt.as_nanos() as f64) * l_blend.as_nanos() as f64 / CACHELINE as f64;
+        let occupancy = (self.iio.waiting_cl() + tail_cl).min(credit_cl);
+        self.msr.integrate_occupancy(occupancy, dt);
+
+        // 8. PCIe streaming under credit flow control.
+        let credits_free = (self.cfg.pcie_credit_bytes()
+            - self.wire.inflight_bytes()
+            - self.iio.waiting_bytes())
+        .max(0.0);
+        // IOTLB misses stall DMA issue on the NIC side of the IIO — the
+        // congestion the IIO occupancy signal cannot see (paper §6).
+        let pcie_rate = self.cfg.iommu.effective_rate(self.cfg.pcie_rate);
+        let budget = credits_free.min(pcie_rate.bytes_in(dt));
+        let (streamed, completed) = self.nic.stream(budget);
+        self.wire.push(now + self.cfg.l_p, streamed);
+        for sp in completed {
+            self.iio.register(sp);
+        }
+
+        // 9. Wire arrivals insert into the IIO.
+        let inserted = self.wire.pop_arrived(now);
+        self.iio.insert(inserted);
+        self.msr.add_insertions(inserted);
+
+        TickOutput {
+            delivered,
+            copied_app_bytes: copied,
+            occupancy_cl: occupancy,
+            inserted_bytes: inserted,
+        }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The MSR counter bank (hostCC reads signals from here).
+    pub fn msr(&self) -> &MsrBank {
+        &self.msr
+    }
+
+    /// The MBA actuator (hostCC writes response levels here).
+    pub fn mba_mut(&mut self) -> &mut Mba {
+        &mut self.mba
+    }
+
+    /// Immutable MBA access.
+    pub fn mba(&self) -> &Mba {
+        &self.mba
+    }
+
+    /// Split borrow for the hostCC control loop: read the counters while
+    /// holding the actuator mutably.
+    pub fn msr_and_mba(&mut self) -> (&MsrBank, &mut Mba) {
+        (&self.msr, &mut self.mba)
+    }
+
+    /// The MApp workload (degree changes, throughput accounting).
+    pub fn mapp_mut(&mut self) -> &mut MApp {
+        &mut self.mapp
+    }
+
+    /// Immutable MApp access.
+    pub fn mapp(&self) -> &MApp {
+        &self.mapp
+    }
+
+    /// The memory controller (utilization and attribution metrics).
+    pub fn mc(&self) -> &MemoryController {
+        &self.mc
+    }
+
+    /// The DDIO state.
+    pub fn ddio_mut(&mut self) -> &mut Ddio {
+        &mut self.ddio
+    }
+
+    /// NIC buffer backlog in bytes.
+    pub fn nic_backlog_bytes(&self) -> u64 {
+        self.nic.backlog_bytes()
+    }
+
+    /// NIC arrival count in the current window.
+    pub fn nic_arrivals(&self) -> u64 {
+        self.nic.arrivals
+    }
+
+    /// NIC drop count in the current window.
+    pub fn nic_drops(&self) -> u64 {
+        self.nic.drops
+    }
+
+    /// Peak NIC buffer occupancy in the current window.
+    pub fn nic_peak_bytes(&self) -> u64 {
+        self.nic.peak_used_bytes
+    }
+
+    /// Application bytes still waiting in the copy backlog.
+    pub fn copy_backlog_app_bytes(&self) -> f64 {
+        self.copy.backlog_app_bytes(&self.cfg)
+    }
+
+    /// Memory bandwidth attributed to network traffic (DMA + copy) over a
+    /// window of `dt`.
+    pub fn net_mem_rate(&self, window: Nanos) -> Rate {
+        if window == Nanos::ZERO {
+            return Rate::ZERO;
+        }
+        let bytes = self.mc.served_iio_bytes + self.mc.served_copy_bytes;
+        Rate::bytes_per_ns(bytes / window.as_nanos() as f64)
+    }
+
+    /// Memory bandwidth used by MApp over a window of `dt`.
+    pub fn mapp_mem_rate(&self, window: Nanos) -> Rate {
+        if window == Nanos::ZERO {
+            return Rate::ZERO;
+        }
+        Rate::bytes_per_ns(self.mc.served_mapp_bytes / window.as_nanos() as f64)
+    }
+
+    /// MApp application-level throughput over a window.
+    pub fn mapp_app_rate(&self, window: Nanos) -> Rate {
+        if window == Nanos::ZERO {
+            return Rate::ZERO;
+        }
+        Rate::bytes_per_ns(self.mapp.app_bytes(&self.cfg) / window.as_nanos() as f64)
+    }
+
+    /// Reset all window accounting (after warm-up).
+    pub fn reset_window(&mut self) {
+        self.nic.reset_window();
+        self.mc.reset_window();
+        self.mapp.reset_window();
+        self.copy.reset_window();
+        self.delivered_payload_bytes = 0;
+        self.delivered_packets = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostcc_fabric::{FlowId, Packet};
+
+    fn host(degree: f64) -> RxHost {
+        RxHost::new(HostConfig::paper_default(), degree)
+    }
+
+    /// Drive `host` with a fixed arrival rate for `duration`; returns
+    /// delivered payload bytes.
+    fn drive(host: &mut RxHost, rate: Rate, payload: u32, duration: Nanos) -> u64 {
+        let dt = host.cfg().tick;
+        let mut now = Nanos::ZERO;
+        let mut next_arrival = Nanos::ZERO;
+        let gap = rate.time_for_bytes((payload + 66) as u64);
+        let mut id = 0;
+        while now < duration {
+            now += dt;
+            while next_arrival <= now {
+                let pkt = Packet::data(id, FlowId(0), 0, payload, false, next_arrival);
+                host.on_wire_arrival(pkt, next_arrival);
+                id += 1;
+                next_arrival += gap;
+            }
+            host.tick(now);
+        }
+        host.delivered_payload_bytes
+    }
+
+    #[test]
+    fn uncongested_line_rate_flows_through() {
+        let mut h = host(0.0);
+        let dur = Nanos::from_millis(2);
+        let delivered = drive(&mut h, Rate::gbps(100.0), 4030, dur);
+        let goodput = Rate::bytes_per_ns(delivered as f64 / dur.as_nanos() as f64);
+        // ~98.4% of 100 Gbps is payload; allow startup transient.
+        assert!(
+            goodput.as_gbps() > 92.0,
+            "uncongested goodput = {goodput}, want ≈ 98"
+        );
+        assert_eq!(h.nic_drops(), 0, "no drops without host congestion");
+    }
+
+    #[test]
+    fn uncongested_occupancy_near_paper_anchor() {
+        let mut h = host(0.0);
+        drive(&mut h, Rate::gbps(100.0), 4030, Nanos::from_millis(1));
+        // Average I_S from the MSR integral over the last stretch.
+        let f = h.cfg().f_iio_ghz;
+        let rocc = h.msr().rocc(f);
+        let is = rocc as f64 / (Nanos::from_millis(1).as_nanos() as f64 * f);
+        assert!(
+            (55.0..75.0).contains(&is),
+            "uncongested I_S = {is}, paper anchor ≈ 65"
+        );
+    }
+
+    #[test]
+    fn severe_congestion_throttles_pcie_and_fills_nic() {
+        let mut h = host(3.0);
+        let dur = Nanos::from_millis(3);
+        let delivered = drive(&mut h, Rate::gbps(100.0), 4030, dur);
+        let goodput = Rate::bytes_per_ns(delivered as f64 / dur.as_nanos() as f64);
+        assert!(
+            goodput.as_gbps() < 60.0,
+            "3x congestion must throttle PCIe: got {goodput}"
+        );
+        assert!(goodput.as_gbps() > 25.0, "but not collapse: got {goodput}");
+        assert!(h.nic_drops() > 0, "overload must drop at the NIC");
+    }
+
+    #[test]
+    fn congested_occupancy_saturates_at_credit_limit() {
+        let mut h = host(3.0);
+        let mut max_occ: f64 = 0.0;
+        let dt = h.cfg().tick;
+        let mut now = Nanos::ZERO;
+        let mut id = 0;
+        let gap = Rate::gbps(100.0).time_for_bytes(4096);
+        let mut next = Nanos::ZERO;
+        while now < Nanos::from_millis(2) {
+            now += dt;
+            while next <= now {
+                h.on_wire_arrival(Packet::data(id, FlowId(0), 0, 4030, false, next), next);
+                id += 1;
+                next += gap;
+            }
+            let out = h.tick(now);
+            max_occ = max_occ.max(out.occupancy_cl);
+        }
+        assert!(
+            (85.0..=93.0).contains(&max_occ),
+            "I_S must saturate near 93: got {max_occ}"
+        );
+    }
+
+    #[test]
+    fn mapp_alone_bandwidth_anchors() {
+        // Paper §2.2: MApp-only observed bandwidth ≈ 16.0 / 28.7 / 34.8
+        // GB/s at 1× / 2× / 3×. The model is calibrated to land within
+        // ~15 % of each anchor.
+        for (degree, want) in [(1.0, 16.0), (2.0, 28.7), (3.0, 34.8)] {
+            let mut h = host(degree);
+            let dur = Nanos::from_millis(1);
+            let dt = h.cfg().tick;
+            let mut now = Nanos::ZERO;
+            while now < dur {
+                now += dt;
+                h.tick(now);
+            }
+            let got = h.mapp_mem_rate(dur).as_gbytes_per_sec();
+            let err = (got - want).abs() / want;
+            assert!(
+                err < 0.15,
+                "MApp {degree}x alone: got {got:.1} GB/s, want ≈ {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mba_pause_restores_line_rate_under_congestion() {
+        let mut h = host(3.0);
+        h.mba_mut().force_level(4); // pause MApp
+        let dur = Nanos::from_millis(2);
+        let delivered = drive(&mut h, Rate::gbps(100.0), 4030, dur);
+        let goodput = Rate::bytes_per_ns(delivered as f64 / dur.as_nanos() as f64);
+        assert!(
+            goodput.as_gbps() > 90.0,
+            "paused MApp must restore line rate: got {goodput}"
+        );
+    }
+
+    #[test]
+    fn mba_levels_monotonically_help_network() {
+        let mut last = 0.0;
+        for level in 0..=4u8 {
+            let mut h = host(3.0);
+            h.mba_mut().force_level(level);
+            let dur = Nanos::from_millis(2);
+            let delivered = drive(&mut h, Rate::gbps(100.0), 4030, dur);
+            let goodput = delivered as f64 / dur.as_nanos() as f64 * 8.0;
+            assert!(
+                goodput > last - 1.0,
+                "level {level}: goodput {goodput:.1} not above level {}: {last:.1}",
+                level.wrapping_sub(1)
+            );
+            last = goodput;
+        }
+    }
+
+    #[test]
+    fn window_reset_clears_accounting() {
+        let mut h = host(1.0);
+        drive(&mut h, Rate::gbps(50.0), 4030, Nanos::from_micros(100));
+        h.reset_window();
+        assert_eq!(h.delivered_payload_bytes, 0);
+        assert_eq!(h.nic_arrivals(), 0);
+        assert_eq!(h.mc().served_mapp_bytes, 0.0);
+    }
+
+    #[test]
+    fn delivered_packets_preserve_fifo_order() {
+        let mut h = host(0.0);
+        let dt = h.cfg().tick;
+        let mut now = Nanos::ZERO;
+        for id in 0..50 {
+            h.on_wire_arrival(Packet::data(id, FlowId(0), 0, 4030, false, now), now);
+        }
+        let mut seen = Vec::new();
+        while now < Nanos::from_micros(100) {
+            now += dt;
+            let out = h.tick(now);
+            seen.extend(out.delivered.iter().map(|d| d.pkt.id));
+        }
+        assert_eq!(seen, (0..50).collect::<Vec<u64>>());
+    }
+}

@@ -1,0 +1,138 @@
+//! Empirical CDFs (paper Fig 7: congestion-signal read latency).
+
+use serde::{Deserialize, Serialize};
+
+use hostcc_sim::Nanos;
+
+/// An empirical cumulative distribution over nanosecond samples.
+///
+/// Unlike [`crate::Histogram`], this stores raw samples (sorted lazily), so
+/// it is exact; use it for experiments with bounded sample counts like the
+/// Fig 7 measurement-latency CDFs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// An empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: Nanos) {
+        self.samples.push(v.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Exact quantile (nearest-rank). None when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<Nanos> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1);
+        Some(Nanos::from_nanos(self.samples[rank - 1]))
+    }
+
+    /// Fraction of samples ≤ `v`.
+    pub fn at(&mut self, v: Nanos) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let v = v.as_nanos();
+        let idx = self.samples.partition_point(|&s| s <= v);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// Evaluate the CDF at `points` evenly spaced quantiles, returning
+    /// `(value, cumulative_fraction)` pairs — the series the Fig 7 plot uses.
+    pub fn curve(&mut self, points: usize) -> Vec<(Nanos, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        (1..=points)
+            .map(|i| {
+                let f = i as f64 / points as f64;
+                (self.quantile(f).unwrap(), f)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quantiles() {
+        let mut c = Cdf::new();
+        for v in [30u64, 10, 20, 40, 50] {
+            c.record(Nanos::from_nanos(v));
+        }
+        assert_eq!(c.quantile(0.0), Some(Nanos::from_nanos(10)));
+        assert_eq!(c.quantile(0.5), Some(Nanos::from_nanos(30)));
+        assert_eq!(c.quantile(1.0), Some(Nanos::from_nanos(50)));
+    }
+
+    #[test]
+    fn at_fraction() {
+        let mut c = Cdf::new();
+        for v in 1..=10u64 {
+            c.record(Nanos::from_nanos(v * 100));
+        }
+        assert_eq!(c.at(Nanos::from_nanos(500)), 0.5);
+        assert_eq!(c.at(Nanos::from_nanos(99)), 0.0);
+        assert_eq!(c.at(Nanos::from_nanos(5000)), 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let mut c = Cdf::new();
+        let mut x: u64 = 99;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            c.record(Nanos::from_nanos(400 + x % 800));
+        }
+        let curve = c.curve(50);
+        assert_eq!(curve.len(), 50);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = Cdf::new();
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.at(Nanos::from_nanos(1)), 0.0);
+        assert!(c.curve(10).is_empty());
+    }
+
+    #[test]
+    fn interleaved_record_and_query() {
+        let mut c = Cdf::new();
+        c.record(Nanos::from_nanos(10));
+        assert_eq!(c.quantile(1.0), Some(Nanos::from_nanos(10)));
+        c.record(Nanos::from_nanos(5));
+        assert_eq!(c.quantile(0.0), Some(Nanos::from_nanos(5)));
+    }
+}

@@ -1,0 +1,99 @@
+//! Event counters with windowed resets (packet drops, retransmits, marks…).
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone event counter with a resettable measurement window.
+///
+/// Drop *rates* in the paper are percentages of packets received, so the
+/// usual pattern is two counters (e.g. `drops` and `arrivals`) and
+/// [`Counter::ratio_of`] at the end of the measurement window.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Counter {
+    window: u64,
+    lifetime: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.window += n;
+        self.lifetime += n;
+    }
+
+    /// Count within the current window.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.window
+    }
+
+    /// Count since construction (across resets).
+    #[inline]
+    pub fn lifetime(&self) -> u64 {
+        self.lifetime
+    }
+
+    /// Zero the window count (lifetime is preserved).
+    pub fn reset(&mut self) {
+        self.window = 0;
+    }
+
+    /// `self / denominator` as a fraction; 0 when the denominator is empty.
+    pub fn ratio_of(&self, denominator: &Counter) -> f64 {
+        if denominator.window == 0 {
+            0.0
+        } else {
+            self.window as f64 / denominator.window as f64
+        }
+    }
+
+    /// `ratio_of` expressed in percent — the unit of the paper's drop-rate
+    /// axes.
+    pub fn percent_of(&self, denominator: &Counter) -> f64 {
+        self.ratio_of(denominator) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_resets() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(c.lifetime(), 5);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut drops = Counter::new();
+        let mut total = Counter::new();
+        drops.add(3);
+        total.add(1000);
+        assert!((drops.ratio_of(&total) - 0.003).abs() < 1e-12);
+        assert!((drops.percent_of(&total) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_with_zero_denominator() {
+        let drops = Counter::new();
+        let total = Counter::new();
+        assert_eq!(drops.ratio_of(&total), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Byte/throughput accounting over a measurement window.
+
+use serde::{Deserialize, Serialize};
+
+use hostcc_sim::{Nanos, Rate};
+
+/// Accumulates bytes and reports average throughput over explicit windows.
+///
+/// Experiments run a warm-up phase before measuring; [`Meter::reset_at`]
+/// marks the start of the measurement window so warm-up traffic is excluded
+/// from the reported averages (the paper's steady-state numbers).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Meter {
+    bytes: u64,
+    window_start: Nanos,
+    /// Lifetime total, unaffected by resets.
+    lifetime_bytes: u64,
+}
+
+impl Meter {
+    /// A meter with its window starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Account `bytes` of traffic.
+    #[inline]
+    pub fn add(&mut self, bytes: u64) {
+        self.bytes += bytes;
+        self.lifetime_bytes += bytes;
+    }
+
+    /// Bytes accumulated in the current window.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Bytes accumulated since construction (across resets).
+    #[inline]
+    pub fn lifetime_bytes(&self) -> u64 {
+        self.lifetime_bytes
+    }
+
+    /// Start a fresh measurement window at `now`, discarding window bytes.
+    pub fn reset_at(&mut self, now: Nanos) {
+        self.bytes = 0;
+        self.window_start = now;
+    }
+
+    /// Average throughput from the window start until `now`.
+    ///
+    /// Returns [`Rate::ZERO`] for an empty or zero-length window.
+    pub fn rate_at(&self, now: Nanos) -> Rate {
+        let dt = now.saturating_sub(self.window_start);
+        if dt == Nanos::ZERO {
+            return Rate::ZERO;
+        }
+        Rate::bytes_per_ns(self.bytes as f64 / dt.as_nanos() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_over_window() {
+        let mut m = Meter::new();
+        m.add(12_500); // 12.5 KB in 1 us = 100 Gbps
+        let r = m.rate_at(Nanos::from_micros(1));
+        assert!((r.as_gbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_is_zero_rate() {
+        let mut m = Meter::new();
+        m.add(1000);
+        assert_eq!(m.rate_at(Nanos::ZERO), Rate::ZERO);
+    }
+
+    #[test]
+    fn reset_excludes_warmup() {
+        let mut m = Meter::new();
+        m.add(1_000_000); // warm-up traffic
+        m.reset_at(Nanos::from_millis(1));
+        m.add(12_500_000); // 12.5 MB over 1 ms = 100 Gbps
+        let r = m.rate_at(Nanos::from_millis(2));
+        assert!((r.as_gbps() - 100.0).abs() < 1e-9);
+        assert_eq!(m.lifetime_bytes(), 13_500_000);
+    }
+
+    #[test]
+    fn accumulates() {
+        let mut m = Meter::new();
+        m.add(3);
+        m.add(4);
+        assert_eq!(m.bytes(), 7);
+    }
+}

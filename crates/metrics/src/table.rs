@@ -1,0 +1,155 @@
+//! Aligned ASCII tables for the `repro` CLI output.
+
+/// A simple column-aligned table builder.
+///
+/// The per-figure harnesses print one table per paper panel, e.g. for
+/// Fig 10(left):
+///
+/// ```text
+/// degree  tput_gbps  drop_pct
+/// 0x      97.21      0.0000
+/// 1x      84.02      0.0001
+/// ...
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must have the same arity as the header.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with two-space column separation.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str(cell);
+                if i + 1 < cols {
+                    for _ in 0..(widths[i] - cell.chars().count() + 2) {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV (for plotting scripts).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 2 decimal places (throughputs, Gbps).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a drop-rate percentage with enough precision for the paper's
+/// log-scale axes (values range 1e-5 % .. 10 %).
+pub fn pct(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x < 0.001 {
+        format!("{x:.6}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["a", "long_header", "c"]);
+        t.row(["1", "2", "3"]);
+        t.row(["100", "2", "3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Data rows align: the last column starts at the same offset.
+        assert_eq!(lines[1].rfind('3'), lines[2].rfind('3'));
+        assert_eq!(lines[0].rfind('c'), lines[1].rfind('3'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["1", "2"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(43.218), "43.22");
+        assert_eq!(pct(0.0), "0");
+        assert_eq!(pct(0.0000312), "0.000031");
+        assert_eq!(pct(0.31), "0.3100");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render(), "a\n");
+    }
+}

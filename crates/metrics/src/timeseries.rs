@@ -1,0 +1,214 @@
+//! Time-series recording for the paper's microscopic figures (8, 18, 19).
+
+use serde::{Deserialize, Serialize};
+
+use hostcc_sim::Nanos;
+
+/// A recorded `(time, value)` series with simple query/rendering helpers.
+///
+/// The deep-dive figures plot `I_S`, `B_S` and the host-local response level
+/// over 250 µs – 1 ms windows; the experiment harness records one sample per
+/// hostCC sampling interval and dumps the series both as CSV (for plotting)
+/// and as a terminal sparkline (for eyeballing in CI logs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    times: Vec<Nanos>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An empty, named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The series name (used as the CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a sample. Samples must arrive in non-decreasing time order.
+    pub fn push(&mut self, t: Nanos, v: f64) {
+        if let Some(&last) = self.times.last() {
+            debug_assert!(t >= last, "time series sample out of order");
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterate over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Nanos, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The sub-series within `[from, to)`.
+    pub fn window(&self, from: Nanos, to: Nanos) -> TimeSeries {
+        let mut out = TimeSeries::new(self.name.clone());
+        for (t, v) in self.iter() {
+            if t >= from && t < to {
+                out.push(t, v);
+            }
+        }
+        out
+    }
+
+    /// Mean value over all samples (unweighted).
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Minimum value.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum value.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Fraction of samples with value strictly above `threshold` — used to
+    /// report "time spent with `I_S > I_T`".
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|&&v| v > threshold).count() as f64 / self.values.len() as f64
+    }
+
+    /// Downsample to at most `n` points by averaging fixed-size chunks
+    /// (keeps plots readable without distorting level shifts).
+    pub fn downsample(&self, n: usize) -> TimeSeries {
+        if n == 0 || self.len() <= n {
+            return self.clone();
+        }
+        let chunk = self.len().div_ceil(n);
+        let mut out = TimeSeries::new(self.name.clone());
+        for c in self.times.chunks(chunk).zip(self.values.chunks(chunk)) {
+            let (ts, vs) = c;
+            let t = ts[ts.len() / 2];
+            let v = vs.iter().sum::<f64>() / vs.len() as f64;
+            out.push(t, v);
+        }
+        out
+    }
+
+    /// Render as CSV lines: `time_us,value`.
+    pub fn to_csv(&self) -> String {
+        let mut s = format!("time_us,{}\n", self.name);
+        for (t, v) in self.iter() {
+            s.push_str(&format!("{:.3},{:.4}\n", t.as_micros_f64(), v));
+        }
+        s
+    }
+
+    /// Render a unicode sparkline of `width` columns (min–max normalized).
+    pub fn sparkline(&self, width: usize) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.is_empty() || width == 0 {
+            return String::new();
+        }
+        let ds = self.downsample(width);
+        let (lo, hi) = (ds.min().unwrap(), ds.max().unwrap());
+        let span = (hi - lo).max(1e-12);
+        ds.values
+            .iter()
+            .map(|v| {
+                let i = (((v - lo) / span) * 7.0).round() as usize;
+                BARS[i.min(7)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new("x");
+        for &(t, v) in vals {
+            s.push(Nanos::from_nanos(t), v);
+        }
+        s
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = series(&[(0, 1.0), (10, 3.0), (20, 2.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn window_selects_half_open_range() {
+        let s = series(&[(0, 0.0), (10, 1.0), (20, 2.0), (30, 3.0)]);
+        let w = s.window(Nanos::from_nanos(10), Nanos::from_nanos(30));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.mean(), Some(1.5));
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let s = series(&[(0, 60.0), (1, 70.0), (2, 80.0), (3, 90.0)]);
+        assert_eq!(s.fraction_above(70.0), 0.5);
+        assert_eq!(s.fraction_above(100.0), 0.0);
+    }
+
+    #[test]
+    fn downsample_preserves_mean_roughly() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..1000u64 {
+            s.push(Nanos::from_nanos(i), i as f64);
+        }
+        let d = s.downsample(10);
+        assert_eq!(d.len(), 10);
+        assert!((d.mean().unwrap() - s.mean().unwrap()).abs() < 1.0);
+    }
+
+    #[test]
+    fn csv_format() {
+        let s = series(&[(1000, 1.5)]);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("time_us,x\n"));
+        assert!(csv.contains("1.000,1.5000"));
+    }
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..100u64 {
+            s.push(Nanos::from_nanos(i), (i % 10) as f64);
+        }
+        let sl = s.sparkline(20);
+        assert_eq!(sl.chars().count(), 20);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.sparkline(10), "");
+    }
+}

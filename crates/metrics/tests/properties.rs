@@ -1,0 +1,110 @@
+//! Property-based tests for the metrics crate.
+
+use hostcc_metrics::{Cdf, Counter, Histogram, Meter, TimeSeries};
+use hostcc_sim::Nanos;
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram quantiles are within 1/32 relative error of the exact
+    /// (sorted-sample) quantiles, for any input distribution.
+    #[test]
+    fn histogram_matches_exact_quantiles(
+        mut samples in prop::collection::vec(1u64..1_000_000_000, 10..500),
+        q in 0.01f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Nanos::from_nanos(s));
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+        let exact = samples[rank - 1] as f64;
+        let got = h.quantile(q).unwrap().as_nanos() as f64;
+        // Bucketed answer is an upper bound of the bucket of the exact one.
+        prop_assert!(got + 1e-9 >= exact * (1.0 - 1.0/32.0), "got={got} exact={exact}");
+        prop_assert!(got <= exact * (1.0 + 1.0/32.0) + 1.0, "got={got} exact={exact}");
+    }
+
+    /// Histogram count/min/max/mean agree with the raw samples.
+    #[test]
+    fn histogram_summary_stats_exact(samples in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(Nanos::from_nanos(s));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min().unwrap().as_nanos(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max().unwrap().as_nanos(), *samples.iter().max().unwrap());
+        let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+        prop_assert_eq!(h.mean().unwrap().as_nanos(), mean);
+    }
+
+    /// Merging two histograms is equivalent to recording all samples in one.
+    #[test]
+    fn histogram_merge_equivalence(
+        xs in prop::collection::vec(1u64..1_000_000, 1..100),
+        ys in prop::collection::vec(1u64..1_000_000, 1..100),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for &x in &xs { a.record(Nanos::from_nanos(x)); all.record(Nanos::from_nanos(x)); }
+        for &y in &ys { b.record(Nanos::from_nanos(y)); all.record(Nanos::from_nanos(y)); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    /// CDF quantile at fraction f then `at` that value covers at least f.
+    #[test]
+    fn cdf_quantile_at_consistency(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut c = Cdf::new();
+        for &s in &samples {
+            c.record(Nanos::from_nanos(s));
+        }
+        let v = c.quantile(q).unwrap();
+        prop_assert!(c.at(v) + 1e-12 >= q);
+    }
+
+    /// Meter rate times the window duration returns the accumulated bytes.
+    #[test]
+    fn meter_rate_inverts(bytes in 1u64..u32::MAX as u64, window_ns in 1u64..1_000_000_000) {
+        let mut m = Meter::new();
+        m.add(bytes);
+        let r = m.rate_at(Nanos::from_nanos(window_ns));
+        let recovered = r.bytes_in(Nanos::from_nanos(window_ns));
+        prop_assert!((recovered - bytes as f64).abs() < 1.0);
+    }
+
+    /// Counter ratio is always in [0, 1] when numerator ≤ denominator.
+    #[test]
+    fn counter_ratio_bounds(n in 0u64..1000, extra in 0u64..1000) {
+        let mut num = Counter::new();
+        let mut den = Counter::new();
+        num.add(n);
+        den.add(n + extra);
+        let r = num.ratio_of(&den);
+        prop_assert!((0.0..=1.0).contains(&r) || (n == 0 && extra == 0 && r == 0.0));
+    }
+
+    /// Downsampling never invents values outside the original hull.
+    #[test]
+    fn timeseries_downsample_in_hull(
+        vals in prop::collection::vec(-1e6f64..1e6, 2..500),
+        n in 1usize..50,
+    ) {
+        let mut s = TimeSeries::new("x");
+        for (i, &v) in vals.iter().enumerate() {
+            s.push(Nanos::from_nanos(i as u64), v);
+        }
+        let d = s.downsample(n);
+        prop_assert!(d.len() <= n.max(1));
+        prop_assert!(d.min().unwrap() >= s.min().unwrap() - 1e-9);
+        prop_assert!(d.max().unwrap() <= s.max().unwrap() + 1e-9);
+    }
+}

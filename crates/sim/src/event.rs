@@ -1,0 +1,272 @@
+//! The pending-event set: a time-ordered queue with stable FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Nanos;
+
+/// An event scheduled for execution at [`ScheduledEvent::at`].
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// Firing time.
+    pub at: Nanos,
+    /// Monotone sequence number; breaks ties so that two events scheduled
+    /// for the same instant fire in scheduling order (determinism).
+    pub seq: u64,
+    /// The user payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue over a user-defined payload type `E`.
+///
+/// The queue tracks the simulation clock: [`EventQueue::pop`] advances
+/// `now()` to the firing time of the returned event. Scheduling an event in
+/// the past is a logic error and panics — silent time-travel is how
+/// simulators produce plausible-looking garbage.
+///
+/// ```
+/// use hostcc_sim::{EventQueue, Nanos};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_in(Nanos::from_micros(5), "later");
+/// q.schedule_in(Nanos::from_micros(1), "sooner");
+/// let (t, ev) = q.pop().unwrap();
+/// assert_eq!((t, ev), (Nanos::from_micros(1), "sooner"));
+/// assert_eq!(q.now(), Nanos::from_micros(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: Nanos,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Nanos::ZERO,
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time (the firing time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever popped; useful for progress accounting
+    /// and for the engine microbenches.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is earlier than the current clock.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Schedule `event` `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        let at = self.now.checked_add(delay).unwrap_or(Nanos::MAX);
+        self.schedule(at, event);
+    }
+
+    /// Firing time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the earliest event, advancing the clock to its firing time.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "heap produced an out-of-order event");
+        self.now = s.at;
+        self.popped += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Pop the earliest event only if it fires at or before `deadline`.
+    ///
+    /// This is the primitive the experiment drivers use to interleave the
+    /// packet-level event stream with the fixed-tick host integration.
+    pub fn pop_before(&mut self, deadline: Nanos) -> Option<(Nanos, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advance the clock to `at` without firing anything.
+    ///
+    /// # Panics
+    /// If `at` is earlier than the current clock, or if an event pending
+    /// before `at` would be skipped.
+    pub fn advance_to(&mut self, at: Nanos) {
+        assert!(at >= self.now, "advance_to moved time backwards");
+        if let Some(t) = self.peek_time() {
+            assert!(
+                t >= at,
+                "advance_to({at}) would skip an event pending at {t}"
+            );
+        }
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(30), "c");
+        q.schedule(Nanos::from_nanos(10), "a");
+        q.schedule(Nanos::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(42), ());
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Nanos::from_nanos(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(10), ());
+        q.pop();
+        q.schedule(Nanos::from_nanos(5), ());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(10), "early");
+        q.schedule(Nanos::from_nanos(100), "late");
+        assert_eq!(
+            q.pop_before(Nanos::from_nanos(50)).map(|(_, e)| e),
+            Some("early")
+        );
+        assert_eq!(q.pop_before(Nanos::from_nanos(50)), None);
+        // The late event is still there.
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(10), 0u32);
+        q.pop();
+        q.schedule_in(Nanos::from_nanos(5), 1u32);
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(15)));
+    }
+
+    #[test]
+    fn advance_to_moves_idle_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(Nanos::from_micros(7));
+        assert_eq!(q.now(), Nanos::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip an event")]
+    fn advance_to_cannot_skip_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(10), ());
+        q.advance_to(Nanos::from_nanos(20));
+    }
+
+    #[test]
+    fn events_processed_counts() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule(Nanos::from_nanos(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.events_processed(), 10);
+    }
+
+    #[test]
+    fn schedule_in_saturates_at_infinity() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(Nanos::from_nanos(1), ());
+        q.pop();
+        q.schedule_in(Nanos::MAX, ());
+        assert_eq!(q.peek_time(), Some(Nanos::MAX));
+    }
+}

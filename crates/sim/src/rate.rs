@@ -1,0 +1,207 @@
+//! Bandwidth arithmetic.
+//!
+//! The paper mixes units freely — access links in Gbps, memory bandwidth in
+//! GBps, PCIe in both — and unit slips are the classic simulation bug. All
+//! internal rate math therefore goes through [`Rate`], which stores
+//! **bytes per nanosecond** (equivalently GB/s) and offers explicit
+//! constructors/accessors for each unit in the paper.
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Nanos;
+
+/// A data rate, stored as bytes per nanosecond (numerically equal to GB/s).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// The zero rate.
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// From gigabits per second (the paper's unit for links and PCIe).
+    #[inline]
+    pub fn gbps(g: f64) -> Rate {
+        Rate(g / 8.0)
+    }
+
+    /// From gigabytes per second (the paper's unit for memory bandwidth).
+    #[inline]
+    pub fn gbytes_per_sec(g: f64) -> Rate {
+        Rate(g)
+    }
+
+    /// From bytes per nanosecond.
+    #[inline]
+    pub fn bytes_per_ns(b: f64) -> Rate {
+        Rate(b)
+    }
+
+    /// As gigabits per second.
+    #[inline]
+    pub fn as_gbps(self) -> f64 {
+        self.0 * 8.0
+    }
+
+    /// As gigabytes per second.
+    #[inline]
+    pub fn as_gbytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// As bytes per nanosecond.
+    #[inline]
+    pub fn as_bytes_per_ns(self) -> f64 {
+        self.0
+    }
+
+    /// Bytes transferred in `dt` at this rate (fractional).
+    #[inline]
+    pub fn bytes_in(self, dt: Nanos) -> f64 {
+        self.0 * dt.as_nanos() as f64
+    }
+
+    /// Time to transfer `bytes` at this rate, rounded up to whole ns.
+    ///
+    /// Returns [`Nanos::MAX`] for a zero rate.
+    #[inline]
+    pub fn time_for_bytes(self, bytes: u64) -> Nanos {
+        if self.0 <= 0.0 {
+            return Nanos::MAX;
+        }
+        Nanos::from_nanos((bytes as f64 / self.0).ceil() as u64)
+    }
+
+    /// True when the rate is exactly zero (or negative, which we clamp).
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 <= 0.0
+    }
+
+    /// Element-wise minimum.
+    #[inline]
+    pub fn min(self, other: Rate) -> Rate {
+        Rate(self.0.min(other.0))
+    }
+
+    /// Element-wise maximum.
+    #[inline]
+    pub fn max(self, other: Rate) -> Rate {
+        Rate(self.0.max(other.0))
+    }
+
+    /// Clamp negative to zero (useful after subtraction).
+    #[inline]
+    pub fn clamp_non_negative(self) -> Rate {
+        Rate(self.0.max(0.0))
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    #[inline]
+    fn add(self, r: Rate) -> Rate {
+        Rate(self.0 + r.0)
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    #[inline]
+    fn sub(self, r: Rate) -> Rate {
+        Rate(self.0 - r.0)
+    }
+}
+
+impl Mul<f64> for Rate {
+    type Output = Rate;
+    #[inline]
+    fn mul(self, f: f64) -> Rate {
+        Rate(self.0 * f)
+    }
+}
+
+impl Div<f64> for Rate {
+    type Output = Rate;
+    #[inline]
+    fn div(self, f: f64) -> Rate {
+        Rate(self.0 / f)
+    }
+}
+
+impl Div for Rate {
+    type Output = f64;
+    /// Ratio of two rates (e.g. utilization = demand / capacity).
+    #[inline]
+    fn div(self, r: Rate) -> f64 {
+        self.0 / r.0
+    }
+}
+
+impl fmt::Debug for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}Gbps", self.as_gbps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        // 100 Gbps = 12.5 GB/s.
+        let r = Rate::gbps(100.0);
+        assert!((r.as_gbytes_per_sec() - 12.5).abs() < 1e-12);
+        assert!((r.as_bytes_per_ns() - 12.5).abs() < 1e-12);
+        assert!((Rate::gbytes_per_sec(46.9).as_gbps() - 375.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_in_interval() {
+        let r = Rate::gbps(100.0);
+        // 12.5 B/ns for 4096 ns.
+        assert!((r.bytes_in(Nanos::from_nanos(4096)) - 51_200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serialization_time() {
+        // A 4096 B packet at 100 Gbps serializes in ceil(4096/12.5) = 328 ns.
+        let r = Rate::gbps(100.0);
+        assert_eq!(r.time_for_bytes(4096), Nanos::from_nanos(328));
+    }
+
+    #[test]
+    fn zero_rate_never_finishes() {
+        assert_eq!(Rate::ZERO.time_for_bytes(1), Nanos::MAX);
+        assert!(Rate::ZERO.is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rate::gbps(40.0);
+        let b = Rate::gbps(10.0);
+        assert!(((a + b).as_gbps() - 50.0).abs() < 1e-9);
+        assert!(((a - b).as_gbps() - 30.0).abs() < 1e-9);
+        assert!(((a * 2.0).as_gbps() - 80.0).abs() < 1e-9);
+        assert!(((a / 4.0).as_gbps() - 10.0).abs() < 1e-9);
+        assert!((a / b - 4.0).abs() < 1e-12);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        let neg = Rate::gbps(1.0) - Rate::gbps(5.0);
+        assert!(neg.as_gbps() < 0.0);
+        assert_eq!(neg.clamp_non_negative(), Rate::ZERO);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the simulation engine.
+
+use hostcc_sim::{EventQueue, Ewma, Nanos, Rate, Rng};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping always yields events in non-decreasing time order, regardless
+    /// of the insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos::from_nanos(t), i);
+        }
+        let mut last = Nanos::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert_eq!(q.events_processed(), times.len() as u64);
+    }
+
+    /// Events scheduled at identical times pop in scheduling (FIFO) order.
+    #[test]
+    fn event_queue_ties_are_fifo(n in 1usize..100, t in 0u64..1000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(Nanos::from_nanos(t), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// An EWMA of inputs bounded in [lo, hi] stays within [lo, hi] once primed.
+    #[test]
+    fn ewma_stays_in_input_hull(
+        weight in 0.001f64..1.0,
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut e = Ewma::new(weight, 0.0);
+        for &x in &xs {
+            let v = e.update(x);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "v={v} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// EWMA is a contraction: |v' − x| ≤ (1 − w)|v − x|.
+    #[test]
+    fn ewma_contracts_toward_input(weight in 0.01f64..1.0, v0 in -1e3f64..1e3, x in -1e3f64..1e3) {
+        let mut e = Ewma::new(weight, 0.0);
+        e.update(v0);
+        let before = (e.get() - x).abs();
+        e.update(x);
+        let after = (e.get() - x).abs();
+        prop_assert!(after <= before * (1.0 - weight) + 1e-9);
+    }
+
+    /// Rate round-trips between units.
+    #[test]
+    fn rate_unit_round_trip(g in 0.0f64..1000.0) {
+        let r = Rate::gbps(g);
+        prop_assert!((r.as_gbps() - g).abs() < 1e-9);
+        let r2 = Rate::gbytes_per_sec(r.as_gbytes_per_sec());
+        prop_assert!((r2.as_gbps() - g).abs() < 1e-9);
+    }
+
+    /// time_for_bytes is the inverse of bytes_in, up to 1 ns rounding.
+    #[test]
+    fn rate_inverse(g in 0.1f64..1000.0, bytes in 1u64..10_000_000) {
+        let r = Rate::gbps(g);
+        let t = r.time_for_bytes(bytes);
+        let sent = r.bytes_in(t);
+        // Rounding up a partial nanosecond never sends more than one extra ns
+        // worth of bytes, and never less than requested.
+        prop_assert!(sent + 1e-6 >= bytes as f64);
+        prop_assert!(sent <= bytes as f64 + r.as_bytes_per_ns() + 1e-6);
+    }
+
+    /// RNG `below` is always within its bound and `range` inclusive.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.below(bound) < bound);
+            let v = r.range(bound / 2, bound);
+            prop_assert!(v >= bound / 2 && v <= bound);
+        }
+    }
+
+    /// Two RNGs with the same seed produce identical streams (determinism).
+    #[test]
+    fn rng_deterministic(seed in any::<u64>()) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! CUBIC congestion control (RFC 8312), the Linux default — a loss-based
+//! baseline for comparison experiments.
+
+use hostcc_sim::Nanos;
+
+use crate::cc::{CongestionControl, Window};
+
+/// CUBIC's multiplicative decrease factor β.
+const BETA: f64 = 0.7;
+/// CUBIC's scaling constant C (segments/s³).
+const C: f64 = 0.4;
+
+/// CUBIC sender state.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    /// Window size (bytes) just before the last reduction.
+    w_max: f64,
+    /// Time of the last reduction.
+    epoch_start: Option<Nanos>,
+    /// Time offset at which the cubic curve crosses `w_max`.
+    k_secs: f64,
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cubic {
+    /// A fresh CUBIC instance.
+    pub fn new() -> Self {
+        Cubic {
+            w_max: 0.0,
+            epoch_start: None,
+            k_secs: 0.0,
+        }
+    }
+
+    fn target(&self, now: Nanos, epoch: Nanos, mss: f64) -> f64 {
+        let t = (now.saturating_sub(epoch)).as_secs_f64();
+        let w_max_seg = self.w_max / mss;
+        let d = t - self.k_secs;
+        (C * d * d * d + w_max_seg) * mss
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(
+        &mut self,
+        now: Nanos,
+        newly_acked: u64,
+        _ece: bool,
+        _cum_ack: u64,
+        _snd_nxt: u64,
+        _rtt: Option<Nanos>,
+        w: &mut Window,
+    ) {
+        if newly_acked == 0 {
+            return;
+        }
+        if w.in_slow_start() {
+            w.grow_reno(newly_acked);
+            return;
+        }
+        let epoch = match self.epoch_start {
+            Some(e) => e,
+            None => {
+                // First CA epoch without a prior loss: treat current window
+                // as the plateau.
+                self.epoch_start = Some(now);
+                self.w_max = w.cwnd;
+                self.k_secs = 0.0;
+                now
+            }
+        };
+        let target = self.target(now, epoch, w.mss);
+        if target > w.cwnd {
+            // Move a fraction of the way to the cubic target per ACK.
+            w.cwnd += (target - w.cwnd) * (newly_acked as f64 / w.cwnd).min(1.0);
+        } else {
+            // TCP-friendly floor: at least Reno-speed growth.
+            w.cwnd += w.mss * (newly_acked as f64 / w.cwnd) * 0.5;
+        }
+    }
+
+    fn on_loss(&mut self, now: Nanos, w: &mut Window) {
+        self.w_max = w.cwnd;
+        w.ssthresh = w.cwnd * BETA;
+        w.cwnd = w.ssthresh;
+        w.clamp_floors();
+        self.epoch_start = Some(now);
+        // K = cbrt(w_max·(1−β)/C), with windows in segments.
+        let w_max_seg = self.w_max / w.mss;
+        self.k_secs = (w_max_seg * (1.0 - BETA) / C).cbrt();
+    }
+
+    fn on_rto(&mut self, now: Nanos, w: &mut Window) {
+        self.w_max = w.cwnd;
+        w.ssthresh = w.cwnd * BETA;
+        w.cwnd = w.mss;
+        w.clamp_floors();
+        self.epoch_start = Some(now);
+        let w_max_seg = self.w_max / w.mss;
+        self.k_secs = (w_max_seg * (1.0 - BETA) / C).cbrt();
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 4030;
+
+    #[test]
+    fn slow_start_like_reno() {
+        let mut c = Cubic::new();
+        let mut w = Window::new(MSS);
+        let before = w.cwnd;
+        c.on_ack(Nanos::ZERO, MSS, false, MSS, 2 * MSS, None, &mut w);
+        assert_eq!(w.cwnd, before + MSS as f64);
+    }
+
+    #[test]
+    fn reduction_by_beta() {
+        let mut c = Cubic::new();
+        let mut w = Window::new(MSS);
+        w.cwnd = 100_000.0;
+        w.ssthresh = 100_000.0;
+        c.on_loss(Nanos::ZERO, &mut w);
+        assert!((w.cwnd - 70_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn concave_recovery_toward_w_max() {
+        let mut c = Cubic::new();
+        let mut w = Window::new(MSS);
+        w.cwnd = 100_000.0;
+        w.ssthresh = 100_000.0;
+        c.on_loss(Nanos::ZERO, &mut w);
+        let after_loss = w.cwnd;
+        // Ack steadily for K seconds; cwnd should recover close to w_max.
+        let mut now = Nanos::ZERO;
+        for _ in 0..10_000 {
+            now += Nanos::from_micros(100);
+            c.on_ack(now, MSS, false, 0, 0, None, &mut w);
+        }
+        assert!(w.cwnd > after_loss, "recovers after loss");
+        assert!(
+            w.cwnd > 90_000.0,
+            "approaches w_max within ~1s: cwnd={}",
+            w.cwnd
+        );
+    }
+
+    #[test]
+    fn rto_collapses_but_remembers_plateau() {
+        let mut c = Cubic::new();
+        let mut w = Window::new(MSS);
+        w.cwnd = 100_000.0;
+        w.ssthresh = 100_000.0;
+        c.on_rto(Nanos::ZERO, &mut w);
+        assert_eq!(w.cwnd, MSS as f64);
+        assert!(c.w_max > 0.0);
+    }
+
+    #[test]
+    fn growth_beyond_w_max_is_convex() {
+        let mut c = Cubic::new();
+        let mut w = Window::new(MSS);
+        w.cwnd = 50_000.0;
+        w.ssthresh = 50_000.0;
+        c.on_loss(Nanos::ZERO, &mut w);
+        // K = cbrt(12.4 · 0.3 / 0.4) ≈ 2.1 s. Compare two growth intervals
+        // both past K (the convex region): later growth must be faster.
+        let mut now = Nanos::ZERO;
+        let mut advance = |c: &mut Cubic, w: &mut Window, secs: f64| {
+            let steps = (secs / 100e-6) as u64;
+            let start = w.cwnd;
+            for _ in 0..steps {
+                now += Nanos::from_micros(100);
+                c.on_ack(now, MSS, false, 0, 0, None, w);
+            }
+            w.cwnd - start
+        };
+        let _to_plateau = advance(&mut c, &mut w, 2.5); // past K
+        let early = advance(&mut c, &mut w, 0.5);
+        let late = advance(&mut c, &mut w, 0.5);
+        assert!(late > early, "early={early} late={late}");
+        assert!(w.cwnd > 50_000.0, "grew past w_max: {}", w.cwnd);
+    }
+}

@@ -1,0 +1,21 @@
+//! The paper's three applications as reusable workload definitions
+//! (§2.2):
+//!
+//! * **NetApp-T** ([`NetAppT`]) — iperf-style: 4 long flows, one per
+//!   sender-core/receiver-core pair, greedy.
+//! * **NetApp-L** ([`RpcClient`]) — netperf-style latency-sensitive RPCs
+//!   of 128 B – 32 KiB, closed loop.
+//! * **MApp** ([`MAppSpec`]) — Intel-MLC-style CPU-to-memory antagonist at
+//!   a configurable congestion degree (the host model implements its
+//!   mechanics; this is the knob).
+//!
+//! Plus the Fig 13 incast shape ([`IncastSpec`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rpc;
+mod specs;
+
+pub use rpc::{RpcClient, RpcConfig, RpcSample};
+pub use specs::{IncastSpec, MAppSpec, NetAppT, PAPER_RPC_SIZES};

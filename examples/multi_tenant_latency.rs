@@ -1,0 +1,53 @@
+//! Multi-tenant tail latency: a latency-sensitive RPC service sharing a
+//! receiver with a bulk-transfer tenant and a memory-hungry tenant — the
+//! paper's Fig 4/12 scenario as a downstream user would run it.
+//!
+//! Shows the two tail-latency cliffs of host congestion (NIC queueing at
+//! P99, 200 ms RTOs at P99.9) and how hostCC removes both.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant_latency
+//! ```
+
+use hostcc_experiments::{Scenario, Simulation};
+use hostcc_sim::Nanos;
+use hostcc_workloads::PAPER_RPC_SIZES;
+
+fn run(name: &str, s: Scenario) {
+    let mut s = s;
+    s.warmup = Nanos::from_millis(3);
+    s.measure = Nanos::from_millis(150); // enough closed-loop RPCs for P99.9
+    let r = Simulation::new(s).run();
+    println!("\n{name}: bulk tenant {:.1} Gbps, drops {:.3}%, timeouts {}",
+        r.goodput_gbps(), r.drop_rate_pct, r.timeouts);
+    println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "size", "P50", "P99", "P99.9", "samples");
+    for size in PAPER_RPC_SIZES {
+        if let Some([p50, _, p99, p999, _]) = r.rpc_whiskers(size) {
+            let n = r.rpc.get(&size).map(|x| x.count).unwrap_or(0);
+            println!(
+                "{:>7}B {:>9.1}u {:>9.1}u {:>9.1}u {:>10}",
+                size,
+                p50.as_micros_f64(),
+                p99.as_micros_f64(),
+                p999.as_micros_f64(),
+                n
+            );
+        }
+    }
+}
+
+fn main() {
+    println!("multi-tenant receiver: 4 bulk flows + RPC service + MApp antagonist");
+    run(
+        "A) quiet host (no MApp)",
+        Scenario::paper_baseline().with_rpc(4),
+    );
+    run(
+        "B) 3x memory antagonist",
+        Scenario::with_congestion(3.0).with_rpc(4),
+    );
+    run(
+        "C) 3x antagonist + hostCC",
+        Scenario::with_congestion(3.0).with_rpc(4).enable_hostcc(),
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: reproduce the headline host-congestion phenomenon in ~20
+//! lines — DCTCP at 100 Gbps against a memory-bandwidth antagonist, with
+//! and without hostCC.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hostcc_experiments::{Scenario, Simulation};
+
+fn main() {
+    println!("hostCC quickstart: 4 DCTCP flows at 100 Gbps, 3x MApp congestion\n");
+
+    // Vanilla DCTCP against a fully loaded memory subsystem.
+    let baseline = Simulation::new(Scenario::with_congestion(3.0)).run();
+
+    // The same scenario with the hostCC controller enabled
+    // (I_T = 70, B_T = 80 Gbps — the paper's defaults).
+    let with_hostcc = Simulation::new(Scenario::with_congestion(3.0).enable_hostcc()).run();
+
+    // And the uncongested reference.
+    let reference = Simulation::new(Scenario::paper_baseline()).run();
+
+    println!("{:<16} {:>10} {:>10} {:>12} {:>10}", "config", "tput", "drops", "NIC drops", "mem(MApp)");
+    for (name, r) in [
+        ("no congestion", &reference),
+        ("dctcp @ 3x", &baseline),
+        ("+hostCC @ 3x", &with_hostcc),
+    ] {
+        println!(
+            "{:<16} {:>7.1} G {:>9.3}% {:>12} {:>9.2}",
+            name,
+            r.goodput_gbps(),
+            r.drop_rate_pct,
+            r.nic_drops,
+            r.mapp_mem_util,
+        );
+    }
+
+    println!(
+        "\nhostCC restored {:.0}% of the lost throughput and cut drops {}x",
+        100.0 * (with_hostcc.goodput_gbps() - baseline.goodput_gbps())
+            / (reference.goodput_gbps() - baseline.goodput_gbps()),
+        if with_hostcc.drop_rate_pct > 0.0 {
+            format!("{:.0}", baseline.drop_rate_pct / with_hostcc.drop_rate_pct)
+        } else {
+            "∞".into()
+        }
+    );
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate: re-exports for examples and integration tests.
+pub use hostcc_sim as sim;
