@@ -9,10 +9,9 @@
 //! and network congestion signals merge into a single CE stream.
 
 use hostcc_fabric::Packet;
-use serde::{Deserialize, Serialize};
 
 /// Receiver-side ECN marking with accounting.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct EcnEcho {
     /// Packets this echo marked (excluding already-CE packets).
     pub host_marks: u64,

@@ -68,7 +68,9 @@ impl PriorityShareTarget {
 impl TargetPolicy for PriorityShareTarget {
     fn target(&mut self, _now: Nanos, observed_bs: Rate) -> Rate {
         self.peak = (self.peak * self.decay).max(observed_bs);
-        (self.peak * self.fraction).max(self.floor).min(self.ceiling)
+        (self.peak * self.fraction)
+            .max(self.floor)
+            .min(self.ceiling)
     }
 
     fn name(&self) -> &'static str {

@@ -1,10 +1,9 @@
 //! The hostCC controller: four-regime host-local response (paper §3.2,
 //! Fig 6) plus the decision of when to echo congestion to the network CC.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_host::{Mba, MsrBank, MsrReadModel, MBA_LEVELS};
 use hostcc_sim::{Nanos, Rate, Rng};
+use hostcc_trace::{TraceEvent, TraceHandle};
 
 use crate::signals::{Sample, SignalConfig, SignalSampler};
 
@@ -17,7 +16,7 @@ use crate::signals::{Sample, SignalConfig, SignalSampler};
 /// NIC-buffer variant is implemented here to answer that experimentally:
 /// it asserts only *after* the domino effect has already reached the NIC,
 /// so its reaction is structurally later than the IIO signal's.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SignalSource {
     /// IIO buffer occupancy (`I_S` vs `I_T`) — the paper's signal.
     IioOccupancy,
@@ -28,7 +27,7 @@ pub enum SignalSource {
 /// hostCC configuration — deliberately tiny: "hostCC has only two
 /// parameters, `B_T` and `I_T`" (§5.3). The rest are ablation switches and
 /// plumbing constants.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HostCcConfig {
     /// IIO occupancy threshold `I_T` (paper default 70; 50 with DDIO).
     pub it: f64,
@@ -85,7 +84,7 @@ impl HostCcConfig {
 }
 
 /// The four operating regimes of Fig 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Regime {
     /// No host congestion, target met → release backpressure on
     /// host-local traffic.
@@ -100,7 +99,7 @@ pub enum Regime {
 }
 
 /// Per-regime visit counters (diagnostics / deep-dive figures).
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RegimeStats {
     /// Samples spent in each regime (indexed R1..R4).
     pub visits: [u64; 4],
@@ -123,17 +122,13 @@ pub struct HostCc {
     last_sample: Option<Sample>,
     /// Smoothed NIC backlog (only used with [`SignalSource::NicBuffer`]).
     nic_ewma: hostcc_sim::Ewma,
+    trace: TraceHandle,
 }
 
 impl HostCc {
     /// Build a controller for a host with the given MSR read model and IIO
     /// clock frequency.
-    pub fn new(
-        cfg: HostCcConfig,
-        read_model: MsrReadModel,
-        f_iio_ghz: f64,
-        rng: Rng,
-    ) -> Self {
+    pub fn new(cfg: HostCcConfig, read_model: MsrReadModel, f_iio_ghz: f64, rng: Rng) -> Self {
         let sampler = SignalSampler::new(cfg.signal.clone(), read_model, f_iio_ghz, rng);
         let nic_ewma = hostcc_sim::Ewma::new(cfg.signal.is_weight, 0.0);
         HostCc {
@@ -144,7 +139,13 @@ impl HostCc {
             stats: RegimeStats::default(),
             last_sample: None,
             nic_ewma,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attach a trace handle (regime-transition events).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The configuration.
@@ -233,12 +234,22 @@ impl HostCc {
             }
         };
         let met = sample.bs.as_bytes_per_ns() >= self.cfg.bt_pcie().as_bytes_per_ns();
+        let prev_regime = self.regime;
         self.regime = match (congested, met) {
             (false, true) => Regime::R1,
             (true, true) => Regime::R2,
             (true, false) => Regime::R3,
             (false, false) => Regime::R4,
         };
+        if self.regime != prev_regime {
+            let regime = match self.regime {
+                Regime::R1 => 1,
+                Regime::R2 => 2,
+                Regime::R3 => 3,
+                Regime::R4 => 4,
+            };
+            self.trace.emit(now, || TraceEvent::RegimeChange { regime });
+        }
         self.stats.visits[match self.regime {
             Regime::R1 => 0,
             Regime::R2 => 1,
@@ -433,6 +444,27 @@ mod tests {
         let mut hc2 = controller(HostCcConfig::paper_default());
         drive(&mut hc2, &mut m, 60.0, 12.875, 300);
         assert!(!hc2.should_mark());
+    }
+
+    #[test]
+    fn regime_transitions_are_traced() {
+        use hostcc_trace::{TraceFilter, TraceHandle, TraceKind, Tracer};
+        let mut hc = controller(HostCcConfig::paper_default());
+        let trace = TraceHandle::new(Tracer::new(64, TraceFilter::all()));
+        hc.set_trace(trace.clone());
+        let mut m = mba();
+        // Starts in R4; congested + target-missed signals move it to R3.
+        drive(&mut hc, &mut m, 93.0, 5.4, 200);
+        assert_eq!(hc.regime(), Regime::R3);
+        let c = trace.counts().unwrap();
+        assert!(c.of(TraceKind::RegimeChange) >= 1);
+        trace.with(|t| {
+            let first = t.records().next().unwrap();
+            assert_eq!(
+                first.event,
+                hostcc_trace::TraceEvent::RegimeChange { regime: 3 }
+            );
+        });
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! Host congestion signal collection (paper §3.1, §4.1).
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_host::{CounterSnapshot, MsrBank, MsrReadModel, CACHELINE};
 use hostcc_sim::{Ewma, Nanos, Rate, Rng};
 
 /// Configuration of the signal sampler.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SignalConfig {
     /// Nominal sampling period. The effective period is
     /// `max(period, read latency)`; with the defaults both are sub-µs,

@@ -1,16 +1,30 @@
-//! `repro` — regenerate any figure of the hostCC paper.
+//! `repro` — regenerate any figure of the hostCC paper, or run a single
+//! scenario with structured tracing.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR] <fig2|fig3|fig4|fig7|fig8|fig9|...|fig19|all>
+//! repro [--quick] [--csv DIR] <fig2|fig3|...|fig19|all>
+//! repro [--quick] [--trace PATH] [--trace-filter CATS] <baseline|congested|hostcc|incast>
 //! ```
 //!
 //! Every run is deterministic; `--quick` uses short measurement windows
 //! (coarser tails, same qualitative shapes); `--csv DIR` additionally
 //! writes every panel as a CSV file for plotting.
+//!
+//! Scenario targets run one simulation and print its result summary plus a
+//! sim-rate profile. With `--trace PATH` the traced events are exported as
+//! Chrome trace-event JSON (load the file in Perfetto / `chrome://tracing`),
+//! or as compact JSONL when `PATH` ends in `.jsonl`. `--trace-filter` limits
+//! collection to a comma-separated category list (e.g. `pcie,mba,drop`).
 
+use std::io::Write;
 use std::process::ExitCode;
 
 use hostcc_experiments::figures::{self, Budget, FigureReport};
+use hostcc_experiments::{Scenario, Simulation};
+use hostcc_trace::{
+    write_chrome_trace, write_jsonl, SimRateProfiler, TraceFilter, TraceHandle, Tracer,
+    DEFAULT_TRACE_CAPACITY,
+};
 
 type FigFn = fn(&Budget) -> FigureReport;
 
@@ -33,9 +47,36 @@ const FIGS: &[(&str, FigFn)] = &[
     ("fig19", figures::fig19),
 ];
 
+type ScenarioFn = fn() -> Scenario;
+
+/// Standalone scenario targets (traceable single runs).
+const SCENARIOS: &[(&str, ScenarioFn)] = &[
+    ("baseline", || Scenario::paper_baseline()),
+    ("congested", || Scenario::with_congestion(3.0)),
+    ("hostcc", || Scenario::with_congestion(3.0).enable_hostcc()),
+    ("incast", || Scenario::incast(8, 3.0).enable_hostcc()),
+];
+
 fn usage() -> ExitCode {
-    eprintln!("usage: repro [--quick] [--csv DIR] <figure>...");
-    eprintln!("figures: all {}", FIGS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "));
+    eprintln!(
+        "usage: repro [--quick] [--csv DIR] [--trace PATH] [--trace-filter CATS] <target>..."
+    );
+    eprintln!(
+        "figures: all {}",
+        FIGS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+    );
+    eprintln!(
+        "scenarios: {}",
+        SCENARIOS
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    eprintln!(
+        "trace categories: all {}",
+        hostcc_trace::TraceKind::categories().join(" ")
+    );
     ExitCode::FAILURE
 }
 
@@ -48,16 +89,116 @@ fn sanitize(caption: &str) -> String {
         .to_string()
 }
 
+/// Run one scenario target, optionally tracing it, and print the summary.
+fn run_scenario(
+    name: &str,
+    make: ScenarioFn,
+    budget: &Budget,
+    trace_path: Option<&str>,
+    filter: TraceFilter,
+) -> Result<(), String> {
+    let mut s = make();
+    s.warmup = budget.warmup;
+    s.measure = budget.measure;
+    let mut sim = Simulation::new(s);
+    if trace_path.is_some() {
+        sim.set_trace(TraceHandle::new(Tracer::new(
+            DEFAULT_TRACE_CAPACITY,
+            filter,
+        )));
+    }
+
+    let profiler = SimRateProfiler::start(sim.events_processed(), sim.now());
+    let r = sim.run();
+    let report = profiler.finish(sim.events_processed(), sim.now());
+
+    println!("== scenario {name} ==");
+    println!(
+        "goodput {:.1} Gbps (all flows {:.1}), drop rate {:.3} % ({} NIC + {} switch of {} packets)",
+        r.goodput_gbps(),
+        r.goodput_all.as_gbps(),
+        r.drop_rate_pct,
+        r.nic_drops,
+        r.switch_drops,
+        r.data_packets,
+    );
+    println!(
+        "marks: {} host + {} fabric; retransmits {}, timeouts {}",
+        r.host_marks, r.fabric_marks, r.retransmits, r.timeouts,
+    );
+    println!(
+        "signals: mean I_S {:.1}, mean B_S {:.1} Gbps, mean MBA level {:.2} ({} MSR writes)",
+        r.mean_is,
+        r.mean_bs.as_gbps(),
+        r.mean_level,
+        r.mba_writes,
+    );
+    if let Some(counts) = &r.trace {
+        let per_kind: Vec<String> = counts
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| format!("{} {}", k.name(), n))
+            .collect();
+        println!(
+            "traced {} events ({} evicted from the ring): {}",
+            counts.total(),
+            counts.overflowed,
+            per_kind.join(", "),
+        );
+    }
+    println!("{}", report.render());
+
+    if let Some(path) = trace_path {
+        let export = sim.trace().with(|t| {
+            let mut buf = Vec::new();
+            if path.ends_with(".jsonl") {
+                write_jsonl(t, &mut buf).map(|()| buf)
+            } else {
+                write_chrome_trace(t, &mut buf).map(|()| buf)
+            }
+        });
+        match export {
+            Some(Ok(buf)) => {
+                let mut file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                file.write_all(&buf)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("[wrote {path}: {} bytes]", buf.len());
+            }
+            Some(Err(e)) => return Err(format!("trace export failed: {e}")),
+            None => unreachable!("tracing was enabled above"),
+        }
+    }
+    println!();
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut budget = Budget::standard();
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut filter = TraceFilter::all();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => budget = Budget::quick(),
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(dir),
+                None => return usage(),
+            },
+            "--trace" => match args.next() {
+                Some(path) => trace_path = Some(path),
+                None => return usage(),
+            },
+            "--trace-filter" => match args.next() {
+                Some(spec) => match TraceFilter::parse(&spec) {
+                    Ok(f) => filter = f,
+                    Err(e) => {
+                        eprintln!("bad --trace-filter: {e}");
+                        return usage();
+                    }
+                },
                 None => return usage(),
             },
             "--help" | "-h" => return usage(),
@@ -74,11 +215,34 @@ fn main() -> ExitCode {
         return usage();
     }
     if targets.iter().any(|t| t == "all") {
-        targets = FIGS.iter().map(|(n, _)| n.to_string()).collect();
+        let scenarios = targets
+            .iter()
+            .filter(|t| SCENARIOS.iter().any(|(n, _)| *n == t.as_str()))
+            .cloned();
+        targets = scenarios
+            .chain(FIGS.iter().map(|(n, _)| n.to_string()))
+            .collect();
+    }
+    if trace_path.is_some() {
+        let traceable = targets
+            .iter()
+            .filter(|t| SCENARIOS.iter().any(|(n, _)| *n == t.as_str()))
+            .count();
+        if traceable != 1 {
+            eprintln!("--trace needs exactly one scenario target (one output file)");
+            return usage();
+        }
     }
     for t in &targets {
+        if let Some((name, make)) = SCENARIOS.iter().find(|(n, _)| n == t) {
+            if let Err(e) = run_scenario(name, *make, &budget, trace_path.as_deref(), filter) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+            continue;
+        }
         let Some((_, f)) = FIGS.iter().find(|(n, _)| n == t) else {
-            eprintln!("unknown figure: {t}");
+            eprintln!("unknown target: {t}");
             return usage();
         };
         let started = std::time::Instant::now();

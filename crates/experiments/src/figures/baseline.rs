@@ -20,13 +20,13 @@ pub fn fig2(budget: &Budget) -> FigureReport {
             let r = run(s);
             let d = format!("{degree}x");
             let dd = if ddio { "on" } else { "off" };
-            left.row([d.clone(), dd.into(), f2(r.goodput_gbps()), pct(r.drop_rate_pct)]);
-            right.row([
-                d,
+            left.row([
+                d.clone(),
                 dd.into(),
-                f2(r.net_mem_util),
-                f2(r.mapp_mem_util),
+                f2(r.goodput_gbps()),
+                pct(r.drop_rate_pct),
             ]);
+            right.row([d, dd.into(), f2(r.net_mem_util), f2(r.mapp_mem_util)]);
         }
     }
     FigureReport {
@@ -87,7 +87,8 @@ pub fn fig3(budget: &Budget) -> FigureReport {
             ("right: flow-count sweep".into(), flows_panel),
         ],
         notes: vec![
-            "paper: drop rates rise with MTU and flows; DDIO-on suffers more at 9000B/16 flows".into(),
+            "paper: drop rates rise with MTU and flows; DDIO-on suffers more at 9000B/16 flows"
+                .into(),
         ],
     }
 }
@@ -101,7 +102,14 @@ pub(crate) fn latency_figure(
     title: &'static str,
 ) -> FigureReport {
     let mut t = Table::new([
-        "config", "rpc_size", "p50_us", "p90_us", "p99_us", "p99.9_us", "p99.99_us", "samples",
+        "config",
+        "rpc_size",
+        "p50_us",
+        "p90_us",
+        "p99_us",
+        "p99.9_us",
+        "p99.99_us",
+        "samples",
     ]);
     let mut notes = Vec::new();
     for (name, s) in variants {
@@ -146,7 +154,10 @@ pub fn fig4(budget: &Budget) -> FigureReport {
     let cong = Scenario::with_congestion(3.0).with_rpc(budget.rpc_clients);
     latency_figure(
         budget,
-        vec![("dctcp/no-congestion", no_cong), ("dctcp/3x-congestion", cong)],
+        vec![
+            ("dctcp/no-congestion", no_cong),
+            ("dctcp/3x-congestion", cong),
+        ],
         "Figure 4",
         "Host congestion inflates tail latency (P99 ≈ NIC queueing; P99.9 ≈ 200 ms RTO)",
     )

@@ -43,7 +43,8 @@ pub fn fig18(budget: &Budget) -> FigureReport {
     panels.push(("(a) throughput and drop rate per variant".into(), summary));
     FigureReport {
         id: "Figure 18",
-        title: "Both hostCC mechanisms are necessary: echo alone loses throughput, local alone drops",
+        title:
+            "Both hostCC mechanisms are necessary: echo alone loses throughput, local alone drops",
         panels,
         notes,
     }
@@ -70,7 +71,12 @@ pub fn fig19(budget: &Budget) -> FigureReport {
     let bs = rec.bs_gbps.window(start, end).downsample(40);
     let lvl = rec.level.window(start, end).downsample(40);
     let is = rec.is_ewma.window(start, end).downsample(40);
-    let mut t = Table::new(["time_us", "pcie_bw_gbps", "response_level", "iio_occupancy_ewma"]);
+    let mut t = Table::new([
+        "time_us",
+        "pcie_bw_gbps",
+        "response_level",
+        "iio_occupancy_ewma",
+    ]);
     for (((tb, vb), (_, vl)), (_, vi)) in bs.iter().zip(lvl.iter()).zip(is.iter()) {
         t.row([
             format!("{:.1}", (tb - start).as_micros_f64()),

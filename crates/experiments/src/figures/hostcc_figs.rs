@@ -175,8 +175,22 @@ pub fn fig12(budget: &Budget) -> FigureReport {
 
 /// Figure 13: incast — network congestion with and without host congestion.
 pub fn fig13(budget: &Budget) -> FigureReport {
-    let mut a = Table::new(["incast", "cc", "tput_gbps", "drop_pct", "switch_drops", "nic_drops"]);
-    let mut b = Table::new(["incast", "cc", "tput_gbps", "drop_pct", "switch_drops", "nic_drops"]);
+    let mut a = Table::new([
+        "incast",
+        "cc",
+        "tput_gbps",
+        "drop_pct",
+        "switch_drops",
+        "nic_drops",
+    ]);
+    let mut b = Table::new([
+        "incast",
+        "cc",
+        "tput_gbps",
+        "drop_pct",
+        "switch_drops",
+        "nic_drops",
+    ]);
     for (panel, mapp) in [(&mut a, 0.0), (&mut b, 3.0)] {
         for hostcc in [false, true] {
             let name = if hostcc { "dctcp+hostcc" } else { "dctcp" };

@@ -11,7 +11,14 @@ use crate::Scenario;
 /// NIC→memory datapath and therefore unaffected by the congestion it
 /// measures.
 pub fn fig7(budget: &Budget) -> FigureReport {
-    let mut t = Table::new(["signal", "congestion", "p1_us", "p50_us", "p99_us", "samples"]);
+    let mut t = Table::new([
+        "signal",
+        "congestion",
+        "p1_us",
+        "p50_us",
+        "p99_us",
+        "samples",
+    ]);
     for (label, degree) in [("none", 0.0), ("3x", 3.0)] {
         let r = run(budget.apply(Scenario::with_congestion(degree)));
         let mut is_cdf = r.read_is_cdf;
@@ -31,9 +38,7 @@ pub fn fig7(budget: &Budget) -> FigureReport {
         id: "Figure 7",
         title: "Signal read latency is sub-µs and independent of host congestion",
         panels: vec![("read-latency CDF summary".into(), t)],
-        notes: vec![
-            "paper: each MSR read < ~600 ns; CDFs with/without congestion overlap".into(),
-        ],
+        notes: vec!["paper: each MSR read < ~600 ns; CDFs with/without congestion overlap".into()],
     }
 }
 
@@ -42,7 +47,10 @@ pub fn fig7(budget: &Budget) -> FigureReport {
 pub fn fig8(budget: &Budget) -> FigureReport {
     let mut panels = Vec::new();
     let mut notes = Vec::new();
-    for (label, degree) in [("(a) no host congestion", 0.0), ("(b) 3x host congestion", 3.0)] {
+    for (label, degree) in [
+        ("(a) no host congestion", 0.0),
+        ("(b) 3x host congestion", 3.0),
+    ] {
         let mut s = budget.apply(Scenario::with_congestion(degree));
         s.record = true;
         let r = run(s);
@@ -78,9 +86,5 @@ pub fn fig8(budget: &Budget) -> FigureReport {
 }
 
 fn s_start(series: &hostcc_metrics::TimeSeries) -> Nanos {
-    series
-        .iter()
-        .next()
-        .map(|(t, _)| t)
-        .unwrap_or(Nanos::ZERO)
+    series.iter().next().map(|(t, _)| t).unwrap_or(Nanos::ZERO)
 }

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use hostcc_metrics::{Cdf, Histogram, TimeSeries};
 use hostcc_sim::{Nanos, Rate};
+use hostcc_trace::TraceCounts;
 
 /// Time-series recording of the hostCC-relevant microscopic state
 /// (Fig 8, 18, 19), sampled at signal-sampler granularity (~1 µs).
@@ -95,6 +96,11 @@ pub struct RunResult {
     pub read_bs_cdf: Cdf,
     /// Microscopic time series (when `Scenario::record` was set).
     pub recording: Option<Recording>,
+    /// Deterministic per-kind traced-event totals (when tracing was
+    /// enabled via [`Simulation::set_trace`](crate::Simulation::set_trace)).
+    /// `None` on un-traced runs, so results stay comparable to the
+    /// tracing-free baseline.
+    pub trace: Option<TraceCounts>,
 }
 
 impl RunResult {

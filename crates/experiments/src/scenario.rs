@@ -1,8 +1,6 @@
 //! End-to-end scenario configuration: one struct that pins every knob of
 //! an experiment, with presets for the paper's setups.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_core::HostCcConfig;
 use hostcc_fabric::{FaultConfig, SwitchPortConfig};
 use hostcc_host::HostConfig;
@@ -10,7 +8,7 @@ use hostcc_sim::{Nanos, Rate};
 use hostcc_workloads::RpcConfig;
 
 /// Which congestion-control protocol the flows run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CcKind {
     /// Linux DCTCP (the paper's protocol).
     Dctcp,
@@ -25,7 +23,7 @@ pub enum CcKind {
 }
 
 /// A complete experiment scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scenario {
     /// RNG seed: every run is exactly repeatable from this.
     pub seed: u64,
@@ -222,7 +220,10 @@ mod tests {
         Scenario::with_congestion(3.0).enable_hostcc().validate();
         Scenario::incast(10, 3.0).validate();
         Scenario::paper_baseline().with_rpc(4).validate();
-        Scenario::paper_baseline().enable_ddio().enable_hostcc().validate();
+        Scenario::paper_baseline()
+            .enable_ddio()
+            .enable_hostcc()
+            .validate();
     }
 
     #[test]

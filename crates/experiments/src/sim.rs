@@ -20,6 +20,7 @@ use hostcc_fabric::{
 use hostcc_host::{MsrReadModel, RxHost, TxHost};
 use hostcc_metrics::Cdf;
 use hostcc_sim::{EventQueue, Nanos, Rate, Rng};
+use hostcc_trace::{DropLocus, TraceCounts, TraceEvent, TraceHandle};
 use hostcc_transport::{Cubic, Dctcp, Flow, FlowConfig, FlowStats, Receiver, Reno, Swift, Timely};
 use hostcc_workloads::RpcClient;
 
@@ -98,6 +99,12 @@ pub struct Simulation {
     /// (None = the paper's fixed B_T).
     policy: Option<Box<dyn TargetPolicy>>,
     next_tick: Nanos,
+    /// Shared tracer handle; disabled by default. Clones of this handle
+    /// live inside the RX host, the controllers and every flow; the copy
+    /// here covers the fabric-level emissions (switch drops/marks, fault
+    /// drops, host echo marks, signal samples), which happen in the
+    /// simulation loop because the fabric types don't know flow identity.
+    trace: TraceHandle,
 }
 
 fn make_cc(kind: CcKind, base_rtt: Nanos) -> Box<dyn hostcc_transport::CongestionControl> {
@@ -143,7 +150,10 @@ impl Simulation {
                 flows.push(f);
                 recvs.push(Receiver::new(id, cfg.rcv_buf));
                 sender_of_flow.push(0);
-                rpcs.push((idx, RpcClient::new(rpc_cfg.clone(), rng.fork(100 + idx as u64))));
+                rpcs.push((
+                    idx,
+                    RpcClient::new(rpc_cfg.clone(), rng.fork(100 + idx as u64)),
+                ));
             }
         }
 
@@ -250,8 +260,42 @@ impl Simulation {
             net_stopped: false,
             policy: None,
             next_tick: tick,
+            trace: TraceHandle::disabled(),
             cfg,
         }
+    }
+
+    /// Enable tracing: clones of `trace` are pushed into every instrumented
+    /// component (RX host incl. its MBA, both hostCC controllers, every
+    /// flow). Call before `run`; the handle can be inspected afterwards.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.rx.set_trace(trace.clone());
+        if let Some(hc) = &mut self.hostcc {
+            hc.set_trace(trace.clone());
+        }
+        if let Some(hc) = &mut self.tx_hostcc {
+            hc.set_trace(trace.clone());
+        }
+        for f in &mut self.flows {
+            f.set_trace(trace.clone());
+        }
+        self.trace = trace;
+    }
+
+    /// Total simulation events popped from the queue so far (sim-rate
+    /// profiling; monotone across warm-up and measurement).
+    pub fn events_processed(&self) -> u64 {
+        self.q.popped()
+    }
+
+    /// Deterministic per-kind trace counts, if tracing is enabled.
+    pub fn trace_counts(&self) -> Option<TraceCounts> {
+        self.trace.counts()
+    }
+
+    /// The shared trace handle (for export).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// Install a dynamic target-bandwidth policy (replaces the fixed B_T;
@@ -324,21 +368,40 @@ impl Simulation {
             }
             Ev::ArriveSwitch { mut pkt } => {
                 match self.fault.apply() {
-                    FaultOutcome::Drop => return,
+                    FaultOutcome::Drop => {
+                        self.trace.emit(now, || TraceEvent::PacketDrop {
+                            flow: pkt.flow.0,
+                            locus: DropLocus::Fault,
+                        });
+                        return;
+                    }
                     FaultOutcome::Corrupt => {
                         // Corrupted packets are dropped by the receiver's
                         // checksum; they still traverse the switch, but we
                         // short-circuit the host datapath for simplicity.
                         self.corrupt_drops += 1;
+                        self.trace.emit(now, || TraceEvent::PacketDrop {
+                            flow: pkt.flow.0,
+                            locus: DropLocus::Fault,
+                        });
                         return;
                     }
                     FaultOutcome::Pass => {}
                 }
                 match self.switch.enqueue(now, pkt.wire_bytes()) {
-                    EnqueueOutcome::Dropped => {}
+                    EnqueueOutcome::Dropped => {
+                        self.trace.emit(now, || TraceEvent::PacketDrop {
+                            flow: pkt.flow.0,
+                            locus: DropLocus::Switch,
+                        });
+                    }
                     EnqueueOutcome::Enqueued { departs, marked } => {
                         if marked {
                             pkt.mark_ce();
+                            self.trace.emit(now, || TraceEvent::EcnMark {
+                                flow: pkt.flow.0,
+                                host: false,
+                            });
                         }
                         self.q
                             .schedule(departs + self.cfg.link_prop, Ev::ArriveRxNic { pkt });
@@ -450,7 +513,14 @@ impl Simulation {
         // 3. Deliveries: receiver-side ECN echo, then up the stack.
         for d in out.delivered {
             let mut pkt = d.pkt;
+            let was_ce = pkt.ecn.is_ce();
             self.echo.process(&mut pkt, mark);
+            if !was_ce && pkt.ecn.is_ce() {
+                self.trace.emit(now, || TraceEvent::EcnMark {
+                    flow: pkt.flow.0,
+                    host: true,
+                });
+            }
             self.q
                 .schedule(now + self.cfg.rx_stack_delay, Ev::DeliverStack { pkt });
         }
@@ -510,6 +580,11 @@ impl Simulation {
 
         // 6. Monitoring sampler (independent of hostCC).
         if let Some(sample) = self.monitor.maybe_sample(now, self.rx.msr()) {
+            self.trace.emit(now, || TraceEvent::SignalSample {
+                is: sample.is,
+                bs_gbps: sample.bs.as_gbps(),
+                read_ns: sample.read_latency().as_nanos(),
+            });
             self.is_sum += sample.is;
             self.bs_sum += sample.bs.as_bytes_per_ns();
             self.is_count += 1;
@@ -525,7 +600,8 @@ impl Simulation {
                     .map(|_| f64::from(self.rx.mba().requested_level()))
                     .unwrap_or(0.0);
                 rec.level.push(now, level);
-                rec.nic_backlog.push(now, self.rx.nic_backlog_bytes() as f64);
+                rec.nic_backlog
+                    .push(now, self.rx.nic_backlog_bytes() as f64);
             }
         }
         let eff_level = f64::from(self.rx.mba_mut().effective_level(now));
@@ -673,6 +749,7 @@ impl Simulation {
             read_is_cdf: std::mem::take(&mut self.read_is_cdf),
             read_bs_cdf: std::mem::take(&mut self.read_bs_cdf),
             recording: self.recording.clone(),
+            trace: self.trace.counts(),
         }
     }
 }
@@ -747,5 +824,46 @@ mod tests {
         assert_eq!(a.goodput.as_gbps(), b.goodput.as_gbps());
         assert_eq!(a.nic_drops, b.nic_drops);
         assert_eq!(a.data_packets, b.data_packets);
+    }
+
+    fn quick_traced(mut s: Scenario) -> RunResult {
+        use hostcc_trace::{TraceFilter, Tracer};
+        s.warmup = Nanos::from_millis(2);
+        s.measure = Nanos::from_millis(4);
+        let mut sim = Simulation::new(s);
+        sim.set_trace(TraceHandle::new(Tracer::new(1 << 20, TraceFilter::all())));
+        let r = sim.run();
+        assert!(sim.events_processed() > 0);
+        r
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        let plain = quick(Scenario::with_congestion(3.0).enable_hostcc());
+        let traced = quick_traced(Scenario::with_congestion(3.0).enable_hostcc());
+        assert_eq!(plain.goodput.as_gbps(), traced.goodput.as_gbps());
+        assert_eq!(plain.nic_drops, traced.nic_drops);
+        assert_eq!(plain.data_packets, traced.data_packets);
+        assert_eq!(plain.host_marks, traced.host_marks);
+        assert_eq!(plain.mba_writes, traced.mba_writes);
+        assert!(plain.trace.is_none());
+        assert!(traced.trace.is_some());
+    }
+
+    #[test]
+    fn congested_hostcc_trace_covers_the_whole_stack() {
+        let r = quick_traced(Scenario::incast(8, 3.0).enable_hostcc());
+        let counts = r.trace.expect("tracing was enabled");
+        let cats = counts.nonempty_categories();
+        for want in ["pcie", "iio", "mba", "ecn", "cc"] {
+            assert!(
+                cats.contains(&want),
+                "expected traced events in category {want:?}, got {cats:?}"
+            );
+        }
+        assert!(
+            cats.len() >= 5,
+            "a congested hostCC run must light up ≥5 tracks: {cats:?}"
+        );
     }
 }

@@ -4,12 +4,10 @@
 //! of dropping or corrupting each packet, driven by the simulation's
 //! deterministic RNG so failures are reproducible.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::Rng;
 
 /// Fault-injection configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FaultConfig {
     /// Probability in `[0, 1]` that a packet is silently dropped.
     pub drop_chance: f64,

@@ -1,7 +1,5 @@
 //! A serializing, propagating point-to-point link.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::{Nanos, Rate};
 
 /// A point-to-point link with a serialization rate and propagation delay.
@@ -16,7 +14,7 @@ use hostcc_sim::{Nanos, Rate};
 /// latency as "2× smaller than our network RTT"), which for two hops each
 /// way means ~8–10 µs of one-way per-link delay including stack overheads;
 /// the default scenario configuration uses that value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     rate: Rate,
     propagation: Nanos,

@@ -1,11 +1,9 @@
 //! The simulated wire format.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::Nanos;
 
 /// Identifies a transport flow (a 4-tuple in real life).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u32);
 
 /// The ECN field of the (simulated) IP header.
@@ -13,7 +11,7 @@ pub struct FlowId(pub u32);
 /// hostCC performs receiver-side marking exactly like a switch would
 /// (paper §4.3): set CE before the datagram reaches the transport layer;
 /// if the switch already marked the packet, nothing changes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EcnCodepoint {
     /// Not ECN-capable transport.
     NotEct,
@@ -42,7 +40,7 @@ impl EcnCodepoint {
 }
 
 /// Transport-level contents of a packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketBody {
     /// A data segment: `[seq, seq + len)` in the flow's byte stream.
     Data {
@@ -68,7 +66,7 @@ pub enum PacketBody {
 ///
 /// Payload contents are never materialized — only sizes flow through the
 /// simulation — which keeps memory flat no matter how much traffic runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Globally unique id (diagnostics; never used for matching).
     pub id: u64,

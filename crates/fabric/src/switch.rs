@@ -2,12 +2,10 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::{Nanos, Rate};
 
 /// Configuration of a switch egress port.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SwitchPortConfig {
     /// Egress serialization rate.
     pub rate: Rate,
@@ -52,7 +50,7 @@ pub enum EnqueueOutcome {
 /// whose departure time has passed, so no standalone "departure" events are
 /// needed in the global event queue (the caller schedules the downstream
 /// arrival from the returned departure time instead).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SwitchPort {
     config: SwitchPortConfig,
     /// In-flight (departure_time, bytes) in FIFO order.

@@ -1,7 +1,8 @@
 //! Property-based tests for the fabric crate.
 
-use hostcc_fabric::{Departure, EnqueueOutcome, FlowId, FqLink, Link, Packet, SwitchPort,
-    SwitchPortConfig};
+use hostcc_fabric::{
+    Departure, EnqueueOutcome, FlowId, FqLink, Link, Packet, SwitchPort, SwitchPortConfig,
+};
 use hostcc_sim::{Nanos, Rate, Rng};
 use proptest::prelude::*;
 

@@ -15,15 +15,13 @@
 //! together with the 1.0× DMA write reproduces the paper's measured 2.1×
 //! memory-bytes-per-network-byte for NetApp-T, §4.2).
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::Nanos;
 
 use crate::config::{HostConfig, CACHELINE};
 use crate::memctrl::Demand;
 
 /// The copy engine of one receiving host.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CopyEngine {
     /// Memory bytes still to be moved (delivered app bytes × cost factor).
     backlog_mem_bytes: f64,

@@ -21,14 +21,12 @@
 //! workload layer sets from MTU/flow-count (the paper itself notes that
 //! precise DDIO behaviour is opaque without hardware visibility, §5.2).
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::Nanos;
 
 use crate::config::HostConfig;
 
 /// DDIO state at one receiving host.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ddio {
     /// Bytes DMA'd into the LLC partition and not yet consumed by the CPU.
     resident_bytes: f64,

@@ -48,7 +48,9 @@ impl IioBuffer {
     /// Register a packet whose DMA bytes end at `end_offset` of the stream.
     pub fn register(&mut self, sp: StreamedPacket) {
         debug_assert!(
-            self.pending.back().is_none_or(|p| sp.end_offset >= p.end_offset),
+            self.pending
+                .back()
+                .is_none_or(|p| sp.end_offset >= p.end_offset),
             "packet registration out of stream order"
         );
         self.pending.push_back(sp);

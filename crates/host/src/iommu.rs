@@ -16,12 +16,10 @@
 //! follows the classic working-set form `1 − entries/footprint`: the DMA
 //! buffer pool's page footprint vs the IOTLB capacity.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::{Nanos, Rate};
 
 /// IOMMU configuration for one host.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IommuConfig {
     /// Whether DMA remapping is enabled at all.
     pub enabled: bool,
@@ -131,7 +129,9 @@ mod tests {
         let raw = Rate::gbps(128.0);
         let mut last = f64::INFINITY;
         for fp in [64u64, 128, 256, 512, 1024, 4096] {
-            let eff = IommuConfig::with_footprint(fp).effective_rate(raw).as_gbps();
+            let eff = IommuConfig::with_footprint(fp)
+                .effective_rate(raw)
+                .as_gbps();
             assert!(eff <= last + 1e-9, "footprint {fp}: {eff} > {last}");
             last = eff;
         }

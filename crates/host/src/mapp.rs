@@ -7,15 +7,13 @@
 //! where rising memory latency self-limits the traffic, and MBA throttling
 //! stretches the per-access latency (paper §4.2).
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::{Ewma, Nanos};
 
 use crate::config::{HostConfig, CACHELINE};
 use crate::memctrl::Demand;
 
 /// The MApp workload state at one host.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MApp {
     /// Congestion degree (0× disables; the paper sweeps 1×–3×).
     degree: f64,

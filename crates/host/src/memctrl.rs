@@ -18,8 +18,6 @@
 //!   `ℓ_m(u) = ℓ_m_min · (1 + α·u/(1−u))`, with utilization smoothed over a
 //!   ~2 µs horizon so the latency signal does not chatter at tick scale.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::{Ewma, Nanos};
 
 use crate::config::HostConfig;
@@ -62,7 +60,7 @@ impl Grants {
 }
 
 /// The shared memory controller of one host.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryController {
     /// Smoothed utilization (fraction of `mem_peak`).
     u: Ewma,

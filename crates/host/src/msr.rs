@@ -15,14 +15,12 @@
 //! property Fig 7 demonstrates and that makes the signal trustworthy during
 //! the very congestion it measures.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::{Nanos, Rng};
 
 use crate::config::CACHELINE;
 
 /// The simulated uncore counter bank of the receiver's IIO stack.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MsrBank {
     /// ∫ occupancy(t) dt in cacheline·nanoseconds (converted to counter
     /// units — cacheline·cycles — at read time).
@@ -61,7 +59,7 @@ impl MsrBank {
 
 /// Models the cost of one congestion-signal read: TSC (+2 ns) plus the MSR
 /// read itself (~600 ns, jittered), independent of host congestion.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MsrReadModel {
     mean: Nanos,
     jitter: Nanos,
@@ -71,7 +69,10 @@ pub struct MsrReadModel {
 impl MsrReadModel {
     /// Build from the host configuration constants.
     pub fn new(mean: Nanos, jitter: Nanos) -> Self {
-        assert!(jitter <= mean, "jitter wider than the mean would go negative");
+        assert!(
+            jitter <= mean,
+            "jitter wider than the mean would go negative"
+        );
         MsrReadModel {
             mean,
             jitter,
@@ -90,7 +91,7 @@ impl MsrReadModel {
 
 /// Snapshot-based signal computation, implementing the paper's §4.1
 /// formulas. The hostCC sampler keeps one of these per signal.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CounterSnapshot {
     /// TSC timestamp of the snapshot.
     pub at: Nanos,

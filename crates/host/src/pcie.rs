@@ -7,12 +7,10 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::Nanos;
 
 /// In-flight PCIe bytes, bucketed by arrival time.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WirePipe {
     inflight: VecDeque<(Nanos, f64)>,
     inflight_bytes: f64,

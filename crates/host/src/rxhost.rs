@@ -15,6 +15,7 @@
 
 use hostcc_fabric::Packet;
 use hostcc_sim::{Nanos, Rate};
+use hostcc_trace::{DropLocus, TraceEvent, TraceHandle};
 
 use crate::config::{HostConfig, CACHELINE};
 use crate::copy_engine::CopyEngine;
@@ -71,6 +72,13 @@ pub struct RxHost {
     /// Packets delivered in the current window.
     pub delivered_packets: u64,
     last_tick_at: Nanos,
+    trace: TraceHandle,
+    /// When the current PCIe credit stall began (None = not stalled).
+    stalled_since: Option<Nanos>,
+    /// Last traced values, for change-triggered counter emission.
+    traced_occupancy: f64,
+    traced_backlog: u64,
+    traced_eviction: f64,
 }
 
 impl RxHost {
@@ -80,6 +88,7 @@ impl RxHost {
         let nic = NicRxQueue::new(cfg.nic_buffer_bytes);
         let mba = Mba::new(cfg.mba_added_latency, cfg.mba_write_latency);
         RxHost {
+            cfg,
             nic,
             wire: WirePipe::new(),
             iio: IioBuffer::new(),
@@ -92,7 +101,11 @@ impl RxHost {
             delivered_payload_bytes: 0,
             delivered_packets: 0,
             last_tick_at: Nanos::ZERO,
-            cfg,
+            trace: TraceHandle::disabled(),
+            stalled_since: None,
+            traced_occupancy: f64::NAN,
+            traced_backlog: 0,
+            traced_eviction: f64::NAN,
         }
     }
 
@@ -101,11 +114,25 @@ impl RxHost {
         &self.cfg
     }
 
+    /// Attach a trace handle to the datapath (and the MBA actuator).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.mba.set_trace(trace.clone());
+        self.trace = trace;
+    }
+
     /// A packet's last bit arrived at the NIC. Returns `false` when the
     /// NIC buffer tail-drops it.
     pub fn on_wire_arrival(&mut self, pkt: Packet, now: Nanos) -> bool {
+        let flow = pkt.flow.0;
         let dma = (pkt.wire_bytes() as f64 * self.cfg.pcie_overhead).ceil() as u64;
-        self.nic.offer(pkt, dma, now)
+        let accepted = self.nic.offer(pkt, dma, now);
+        if !accepted {
+            self.trace.emit(now, || TraceEvent::PacketDrop {
+                flow,
+                locus: DropLocus::Nic,
+            });
+        }
+        accepted
     }
 
     /// Advance the datapath to `now` (one tick of `cfg.tick`).
@@ -144,14 +171,27 @@ impl RxHost {
         // 3. Arbitrate.
         #[cfg(feature = "dbg")]
         if now.as_nanos() % 1_000_000 == 0 {
-            eprintln!("t={} iio(d={:.0},w={:.1}) mapp(d={:.0},w={:.1}) copy(d={:.0},w={:.1}) l_mem={}",
-                now, iio_demand.bytes, iio_demand.weight, mapp_demand.bytes, mapp_demand.weight,
-                copy_demand.bytes, copy_demand.weight, l_mem);
+            eprintln!(
+                "t={} iio(d={:.0},w={:.1}) mapp(d={:.0},w={:.1}) copy(d={:.0},w={:.1}) l_mem={}",
+                now,
+                iio_demand.bytes,
+                iio_demand.weight,
+                mapp_demand.bytes,
+                mapp_demand.weight,
+                copy_demand.bytes,
+                copy_demand.weight,
+                l_mem
+            );
         }
-        let grants = self.mc.tick(&self.cfg, dt, iio_demand, mapp_demand, copy_demand);
+        let grants = self
+            .mc
+            .tick(&self.cfg, dt, iio_demand, mapp_demand, copy_demand);
         #[cfg(feature = "dbg")]
         if now.as_nanos() % 1_000_000 == 0 {
-            eprintln!("   grants iio={:.0} mapp={:.0} copy={:.0} sat={}", grants.iio, grants.mapp, grants.copy, grants.saturated);
+            eprintln!(
+                "   grants iio={:.0} mapp={:.0} copy={:.0} sat={}",
+                grants.iio, grants.mapp, grants.copy, grants.saturated
+            );
         }
 
         // 4. IIO admission: the grant covers the evicted fraction; DDIO
@@ -189,20 +229,22 @@ impl RxHost {
         //    the service pipeline tail (admitted but not yet completed —
         //    Little's law on the blended write latency), capped by the
         //    credit limit the paper observes as the I_S ceiling.
-        let l_blend = self.ddio.blended_latency(&self.cfg, self.mc.l_mem(&self.cfg));
+        let l_blend = self
+            .ddio
+            .blended_latency(&self.cfg, self.mc.l_mem(&self.cfg));
         let tail_cl = (admit / dt.as_nanos() as f64) * l_blend.as_nanos() as f64 / CACHELINE as f64;
         let occupancy = (self.iio.waiting_cl() + tail_cl).min(credit_cl);
         self.msr.integrate_occupancy(occupancy, dt);
 
         // 8. PCIe streaming under credit flow control.
-        let credits_free = (self.cfg.pcie_credit_bytes()
-            - self.wire.inflight_bytes()
-            - self.iio.waiting_bytes())
-        .max(0.0);
+        let credits_free =
+            (self.cfg.pcie_credit_bytes() - self.wire.inflight_bytes() - self.iio.waiting_bytes())
+                .max(0.0);
         // IOTLB misses stall DMA issue on the NIC side of the IIO — the
         // congestion the IIO occupancy signal cannot see (paper §6).
         let pcie_rate = self.cfg.iommu.effective_rate(self.cfg.pcie_rate);
-        let budget = credits_free.min(pcie_rate.bytes_in(dt));
+        let wire_budget = pcie_rate.bytes_in(dt);
+        let budget = credits_free.min(wire_budget);
         let (streamed, completed) = self.nic.stream(budget);
         self.wire.push(now + self.cfg.l_p, streamed);
         for sp in completed {
@@ -214,11 +256,69 @@ impl RxHost {
         self.iio.insert(inserted);
         self.msr.add_insertions(inserted);
 
+        // 10. Tracing: stall transitions and change-triggered counters.
+        //     Read-only over the datapath state, so a traced run computes
+        //     bit-identical results to an untraced one.
+        if self.trace.is_enabled() {
+            self.trace_tick(now, e, occupancy, credits_free < wire_budget);
+        }
+
         TickOutput {
             delivered,
             copied_app_bytes: copied,
             occupancy_cl: occupancy,
             inserted_bytes: inserted,
+        }
+    }
+
+    /// Per-tick trace emission. Counters are change-triggered rather than
+    /// per-tick: at the 100 ns tick an unconditional sample stream would be
+    /// 10 M events per simulated millisecond of nothing changing.
+    fn trace_tick(&mut self, now: Nanos, eviction: f64, occupancy: f64, credit_limited: bool) {
+        let backlog = self.nic.backlog_bytes();
+
+        // PCIe stall transitions: the NIC holds packets but cannot stream
+        // at wire rate because the credit return — not the link — is the
+        // binding constraint (the paper's domino stage 3).
+        let stalled = backlog > 0 && credit_limited;
+        match (self.stalled_since, stalled) {
+            (None, true) => {
+                self.stalled_since = Some(now);
+                self.trace.emit(now, || TraceEvent::PcieCreditStall {
+                    backlog_bytes: backlog,
+                });
+            }
+            (Some(since), false) => {
+                self.stalled_since = None;
+                self.trace.emit(now, || TraceEvent::PcieCreditGrant {
+                    stalled_ns: now.as_nanos() - since.as_nanos(),
+                });
+            }
+            _ => {}
+        }
+
+        // IIO occupancy: one cacheline of hysteresis.
+        if self.traced_occupancy.is_nan() || (occupancy - self.traced_occupancy).abs() >= 1.0 {
+            self.traced_occupancy = occupancy;
+            self.trace.emit(now, || TraceEvent::IioOccupancy {
+                cachelines: occupancy,
+            });
+        }
+
+        // NIC backlog: a page of hysteresis, plus the empty transition.
+        if backlog.abs_diff(self.traced_backlog) >= 4096
+            || ((backlog == 0) != (self.traced_backlog == 0))
+        {
+            self.traced_backlog = backlog;
+            self.trace
+                .emit(now, || TraceEvent::NicBacklog { bytes: backlog });
+        }
+
+        // DDIO eviction fraction: 1% hysteresis.
+        if self.traced_eviction.is_nan() || (eviction - self.traced_eviction).abs() >= 0.01 {
+            self.traced_eviction = eviction;
+            self.trace
+                .emit(now, || TraceEvent::DdioEviction { fraction: eviction });
         }
     }
 
@@ -486,6 +586,38 @@ mod tests {
         assert_eq!(h.delivered_payload_bytes, 0);
         assert_eq!(h.nic_arrivals(), 0);
         assert_eq!(h.mc().served_mapp_bytes, 0.0);
+    }
+
+    #[test]
+    fn congested_run_traces_the_domino_stages() {
+        use hostcc_trace::{TraceFilter, TraceHandle, TraceKind, Tracer};
+        let mut h = host(3.0);
+        let trace = TraceHandle::new(Tracer::new(1 << 16, TraceFilter::all()));
+        h.set_trace(trace.clone());
+        drive(&mut h, Rate::gbps(100.0), 4030, Nanos::from_millis(2));
+        let c = trace.counts().unwrap();
+        assert!(c.of(TraceKind::IioOccupancy) > 0, "occupancy moved");
+        assert!(c.of(TraceKind::NicBacklog) > 0, "NIC backlog grew");
+        assert!(c.of(TraceKind::PcieStall) > 0, "credits must stall at 3x");
+        assert!(c.of(TraceKind::PacketDrop) > 0, "overload drops at the NIC");
+        assert_eq!(
+            c.of(TraceKind::PacketDrop),
+            h.nic_drops(),
+            "every NIC drop traced exactly once"
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_datapath() {
+        use hostcc_trace::{TraceFilter, TraceHandle, Tracer};
+        let dur = Nanos::from_millis(2);
+        let mut plain = host(3.0);
+        let plain_bytes = drive(&mut plain, Rate::gbps(100.0), 4030, dur);
+        let mut traced = host(3.0);
+        traced.set_trace(TraceHandle::new(Tracer::new(1 << 16, TraceFilter::all())));
+        let traced_bytes = drive(&mut traced, Rate::gbps(100.0), 4030, dur);
+        assert_eq!(plain_bytes, traced_bytes);
+        assert_eq!(plain.nic_drops(), traced.nic_drops());
     }
 
     #[test]

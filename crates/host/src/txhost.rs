@@ -93,7 +93,9 @@ impl TxHost {
             weight: self.cfg.weight_iio * inflight / CACHELINE as f64,
         };
         let mapp_demand = self.mapp.demand(&self.cfg, mba_added, dt);
-        let grants = self.mc.tick(&self.cfg, dt, dma_demand, mapp_demand, Demand::NONE);
+        let grants = self
+            .mc
+            .tick(&self.cfg, dt, dma_demand, mapp_demand, Demand::NONE);
         self.mapp.serve(grants.mapp, dt);
 
         // Release packets covered by the granted DMA bytes.

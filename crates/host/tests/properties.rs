@@ -150,12 +150,10 @@ proptest! {
         let mut h = RxHost::new(cfg.clone(), degree);
         let dt = cfg.tick;
         let mut now = Nanos::ZERO;
-        let mut id = 0;
         let mut last_rocc = 0u64;
-        for _ in 0..2000 {
+        for id in 0..2000 {
             now += dt;
             h.on_wire_arrival(pkt(id, 4030), now);
-            id += 1;
             h.tick(now);
             let rocc = h.msr().rocc(cfg.f_iio_ghz);
             prop_assert!(rocc >= last_rocc, "R_OCC must be monotone");

@@ -1,7 +1,5 @@
 //! Empirical CDFs (paper Fig 7: congestion-signal read latency).
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::Nanos;
 
 /// An empirical cumulative distribution over nanosecond samples.
@@ -9,7 +7,7 @@ use hostcc_sim::Nanos;
 /// Unlike [`crate::Histogram`], this stores raw samples (sorted lazily), so
 /// it is exact; use it for experiments with bounded sample counts like the
 /// Fig 7 measurement-latency CDFs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Cdf {
     samples: Vec<u64>,
     sorted: bool,
@@ -122,9 +120,18 @@ mod tests {
     #[test]
     fn empty_cdf() {
         let mut c = Cdf::new();
-        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.count(), 0);
+        // Every quantile of an empty CDF is None, including the (clamped)
+        // out-of-range ones — no panic, no sentinel value.
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(c.quantile(q), None);
+        }
+        assert_eq!(c.at(Nanos::ZERO), 0.0);
         assert_eq!(c.at(Nanos::from_nanos(1)), 0.0);
         assert!(c.curve(10).is_empty());
+        // Zero-point curves are empty even with samples present.
+        c.record(Nanos::from_nanos(7));
+        assert!(c.curve(0).is_empty());
     }
 
     #[test]

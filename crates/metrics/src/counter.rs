@@ -1,13 +1,11 @@
 //! Event counters with windowed resets (packet drops, retransmits, marks…).
 
-use serde::{Deserialize, Serialize};
-
 /// A monotone event counter with a resettable measurement window.
 ///
 /// Drop *rates* in the paper are percentages of packets received, so the
 /// usual pattern is two counters (e.g. `drops` and `arrivals`) and
 /// [`Counter::ratio_of`] at the end of the measurement window.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Counter {
     window: u64,
     lifetime: u64,

@@ -1,7 +1,5 @@
 //! Log-bucketed latency histogram with HDR-style bounded relative error.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::Nanos;
 
 /// Sub-buckets per power of two; gives ≤ 1/64 ≈ 1.6 % relative error,
@@ -16,7 +14,7 @@ const SUBBUCKET_BITS: u32 = 6;
 /// O(buckets) and the memory footprint is fixed regardless of sample count.
 /// This matters: the Fig 4 / Fig 12 experiments record millions of RPC
 /// latencies spanning 10 µs to 200 ms.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -271,10 +269,50 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_collapses_all_quantiles() {
+        let mut h = Histogram::new();
+        h.record(Nanos::from_micros(60));
+        let p0 = h.quantile(0.0).unwrap();
+        let p100 = h.quantile(1.0).unwrap();
+        assert_eq!(p0, p100, "one sample: every quantile is that sample");
+        let err = (p0.as_nanos() as f64 - 60_000.0).abs() / 60_000.0;
+        assert!(err <= 1.0 / 64.0 + 1e-9, "p0={p0}");
+        assert_eq!(h.whiskers().unwrap(), [p0; 5]);
+        assert_eq!(h.min(), Some(Nanos::from_micros(60)));
+        assert_eq!(h.mean(), Some(Nanos::from_micros(60)));
+    }
+
+    #[test]
+    fn p0_and_p100_are_clamped_and_exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in [3u64, 7, 11] {
+            h.record(Nanos::from_nanos(v));
+        }
+        // Sub-64 values use exact linear buckets: the extremes are exact.
+        assert_eq!(h.quantile(0.0), Some(Nanos::from_nanos(3)));
+        assert_eq!(h.quantile(1.0), Some(Nanos::from_nanos(11)));
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
     fn bucket_round_trip_bounds() {
         // Every value must land in a bucket whose upper bound is >= value
         // and within the relative-error budget.
-        for v in [0u64, 1, 63, 64, 65, 127, 128, 1_000, 65_535, 1 << 30, 1 << 50] {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1_000,
+            65_535,
+            1 << 30,
+            1 << 50,
+        ] {
             let i = bucket_index(v);
             let ub = bucket_upper_bound(i);
             assert!(ub >= v, "v={v} ub={ub}");

@@ -1,7 +1,5 @@
 //! Byte/throughput accounting over a measurement window.
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::{Nanos, Rate};
 
 /// Accumulates bytes and reports average throughput over explicit windows.
@@ -9,7 +7,7 @@ use hostcc_sim::{Nanos, Rate};
 /// Experiments run a warm-up phase before measuring; [`Meter::reset_at`]
 /// marks the start of the measurement window so warm-up traffic is excluded
 /// from the reported averages (the paper's steady-state numbers).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Meter {
     bytes: u64,
     window_start: Nanos,

@@ -1,7 +1,5 @@
 //! Time-series recording for the paper's microscopic figures (8, 18, 19).
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_sim::Nanos;
 
 /// A recorded `(time, value)` series with simple query/rendering helpers.
@@ -10,7 +8,7 @@ use hostcc_sim::Nanos;
 /// over 250 µs – 1 ms windows; the experiment harness records one sample per
 /// hostCC sampling interval and dumps the series both as CSV (for plotting)
 /// and as a terminal sparkline (for eyeballing in CI logs).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     name: String,
     times: Vec<Nanos>,
@@ -166,6 +164,20 @@ mod tests {
         let w = s.window(Nanos::from_nanos(10), Nanos::from_nanos(30));
         assert_eq!(w.len(), 2);
         assert_eq!(w.mean(), Some(1.5));
+    }
+
+    #[test]
+    fn window_includes_from_and_excludes_to() {
+        let s = series(&[(10, 1.0), (20, 2.0), (30, 3.0)]);
+        // A sample exactly at `from` is kept; exactly at `to` is not.
+        let w = s.window(Nanos::from_nanos(10), Nanos::from_nanos(30));
+        assert_eq!(w.iter().map(|(_, v)| v).collect::<Vec<_>>(), [1.0, 2.0]);
+        // Degenerate window: from == to selects nothing.
+        assert!(s
+            .window(Nanos::from_nanos(20), Nanos::from_nanos(20))
+            .is_empty());
+        // The window keeps the series name for CSV headers.
+        assert_eq!(w.name(), "x");
     }
 
     #[test]

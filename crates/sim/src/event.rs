@@ -107,6 +107,41 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Total number of events ever popped — the counter the sim-rate
+    /// profiler snapshots. Alias of [`EventQueue::events_processed`].
+    ///
+    /// ```
+    /// use hostcc_sim::{EventQueue, Nanos};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.schedule(Nanos::from_nanos(1), "a");
+    /// q.schedule(Nanos::from_nanos(2), "b");
+    /// assert_eq!(q.popped(), 0);
+    /// q.pop();
+    /// assert_eq!(q.popped(), 1);
+    /// ```
+    #[inline]
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Whether every event ever scheduled has also been popped — i.e. the
+    /// simulation ran to completion rather than stopping with work pending.
+    ///
+    /// ```
+    /// use hostcc_sim::{EventQueue, Nanos};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.schedule(Nanos::from_nanos(5), ());
+    /// assert!(!q.drained());
+    /// q.pop();
+    /// assert!(q.drained());
+    /// ```
+    #[inline]
+    pub fn drained(&self) -> bool {
+        self.heap.is_empty()
+    }
+
     /// Schedule `event` at absolute time `at`.
     ///
     /// # Panics

@@ -1,7 +1,5 @@
 //! Exponentially-weighted moving average.
 
-use serde::{Deserialize, Serialize};
-
 /// An EWMA with weight `w`: `v ← (1 − w)·v + w·x`.
 ///
 /// hostCC smooths both of its congestion signals this way (paper §4.1):
@@ -12,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// initial value; the first observation snaps the average to the sample so
 /// that a cold start does not drag the signal toward an arbitrary initial
 /// constant for hundreds of samples.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ewma {
     weight: f64,
     value: f64,

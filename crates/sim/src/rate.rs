@@ -9,12 +9,10 @@
 use core::fmt;
 use core::ops::{Add, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::Nanos;
 
 /// A data rate, stored as bytes per nanosecond (numerically equal to GB/s).
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Rate(f64);
 
 impl Rate {

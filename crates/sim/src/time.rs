@@ -4,8 +4,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulation time **or** a duration, measured in nanoseconds.
 ///
 /// The paper's phenomena span nine orders of magnitude — 2 ns TSC reads up to
@@ -17,9 +15,7 @@ use serde::{Deserialize, Serialize};
 /// durations to instants, and the arithmetic below is saturating-free and
 /// panics on underflow in debug builds, which has caught several modelling
 /// bugs in development.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Nanos(pub u64);
 
 impl Nanos {

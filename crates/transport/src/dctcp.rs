@@ -198,11 +198,7 @@ mod tests {
         // cwnd by α/2 = 50%.
         let before = w.cwnd;
         ack_last_window(&mut d, &mut w, 0, 25, 25);
-        assert!(
-            w.cwnd <= before * 0.52,
-            "cwnd={} before={before}",
-            w.cwnd
-        );
+        assert!(w.cwnd <= before * 0.52, "cwnd={} before={before}", w.cwnd);
         assert_eq!(d.reductions, 1);
     }
 
@@ -219,9 +215,9 @@ mod tests {
         let reductions_before = d.reductions;
         cum = ack_window(&mut d, &mut w, cum, 10, 1);
         ack_window(&mut d, &mut w, cum, 10, 0); // flush the boundary
-        // Exactly one (gentle) reduction happened; with α ≈ 0.01 the cut is
-        // a fraction of a percent, so the window barely moves even after
-        // two windows of additive growth.
+                                                // Exactly one (gentle) reduction happened; with α ≈ 0.01 the cut is
+                                                // a fraction of a percent, so the window barely moves even after
+                                                // two windows of additive growth.
         assert_eq!(d.reductions, reductions_before + 1);
         let rel = (w.cwnd / before - 1.0).abs();
         assert!(rel < 0.1, "relative change = {rel}");

@@ -18,6 +18,7 @@ use std::collections::{BTreeSet, VecDeque};
 
 use hostcc_fabric::{FlowId, Packet};
 use hostcc_sim::Nanos;
+use hostcc_trace::{TraceEvent, TraceHandle};
 
 use crate::cc::{CongestionControl, Window};
 
@@ -127,6 +128,7 @@ pub struct Flow {
     packet_id: u64,
     /// Public stats for tables.
     pub stats: FlowStats,
+    trace: TraceHandle,
 }
 
 impl Flow {
@@ -159,7 +161,25 @@ impl Flow {
             peer_rwnd: u64::MAX,
             packet_id: (u64::from(id.0)) << 40,
             stats: FlowStats::default(),
+            trace: TraceHandle::disabled(),
             cfg,
+        }
+    }
+
+    /// Attach a trace handle (congestion-window-change events).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Emit a `CcUpdate` if the congestion window moved across a call.
+    #[inline]
+    fn trace_cwnd(&self, now: Nanos, before: u64) {
+        let cwnd = self.w.cwnd as u64;
+        if cwnd != before {
+            self.trace.emit(now, || TraceEvent::CcUpdate {
+                flow: self.id.0,
+                cwnd_bytes: cwnd,
+            });
         }
     }
 
@@ -205,7 +225,10 @@ impl Flow {
 
     /// Current RTO (after backoff).
     pub fn rto(&self) -> Nanos {
-        let backed = self.rto.as_nanos().saturating_mul(1u64 << self.rto_backoff.min(16));
+        let backed = self
+            .rto
+            .as_nanos()
+            .saturating_mul(1u64 << self.rto_backoff.min(16));
         Nanos::from_nanos(backed).min(self.cfg.rto_max)
     }
 
@@ -348,6 +371,19 @@ impl Flow {
         rwnd: u64,
         sack: &[Option<(u64, u64)>],
     ) {
+        let cwnd_before = self.w.cwnd as u64;
+        self.on_ack_sack_inner(now, cum_ack, ece, rwnd, sack);
+        self.trace_cwnd(now, cwnd_before);
+    }
+
+    fn on_ack_sack_inner(
+        &mut self,
+        now: Nanos,
+        cum_ack: u64,
+        ece: bool,
+        rwnd: u64,
+        sack: &[Option<(u64, u64)>],
+    ) {
         self.peer_rwnd = rwnd;
         self.stats.acks += 1;
         if ece {
@@ -449,9 +485,11 @@ impl Flow {
     /// SACKed, not already queued/repaired, with SACKed data above it.
     fn queue_next_lost(&mut self) {
         let high = self.high_sacked;
-        if let Some(seg) = self.segs.iter_mut().find(|s| {
-            !s.sacked && !s.rtx_pending && !s.retransmitted && s.seq + s.len <= high
-        }) {
+        if let Some(seg) = self
+            .segs
+            .iter_mut()
+            .find(|s| !s.sacked && !s.rtx_pending && !s.retransmitted && s.seq + s.len <= high)
+        {
             seg.rtx_pending = true;
             let seq = seg.seq;
             self.rtx_queue.push_back(seq);
@@ -484,6 +522,12 @@ impl Flow {
 
     /// Check timers at `now`; fires at most one event per call.
     pub fn on_tick(&mut self, now: Nanos) {
+        let cwnd_before = self.w.cwnd as u64;
+        self.on_tick_inner(now);
+        self.trace_cwnd(now, cwnd_before);
+    }
+
+    fn on_tick_inner(&mut self, now: Nanos) {
         if let Some(tlp) = self.tlp_deadline {
             if now >= tlp {
                 self.fire_tlp(now);
@@ -546,9 +590,7 @@ impl Flow {
             }
             Some(srtt) => {
                 let diff = if srtt > rtt { srtt - rtt } else { rtt - srtt };
-                self.rttvar = Nanos::from_nanos(
-                    (self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4,
-                );
+                self.rttvar = Nanos::from_nanos((self.rttvar.as_nanos() * 3 + diff.as_nanos()) / 4);
                 self.srtt = Some(Nanos::from_nanos(
                     (srtt.as_nanos() * 7 + rtt.as_nanos()) / 8,
                 ));
@@ -571,11 +613,7 @@ mod tests {
     const MSS: u64 = MTU - 66;
 
     fn flow() -> Flow {
-        let mut f = Flow::new(
-            FlowId(1),
-            FlowConfig::for_mtu(MTU),
-            Box::new(Reno::new()),
-        );
+        let mut f = Flow::new(FlowId(1), FlowConfig::for_mtu(MTU), Box::new(Reno::new()));
         f.set_greedy();
         f
     }
@@ -611,6 +649,34 @@ mod tests {
         let more = drain(&mut f, now);
         // Slow start: 1 acked MSS ⇒ cwnd grows by 1 MSS ⇒ 2 new segments.
         assert_eq!(more.len(), 2);
+    }
+
+    #[test]
+    fn cwnd_changes_are_traced() {
+        use hostcc_trace::{TraceFilter, TraceHandle, TraceKind, Tracer};
+        let mut f = flow();
+        let trace = TraceHandle::new(Tracer::new(64, TraceFilter::all()));
+        f.set_trace(trace.clone());
+        drain(&mut f, Nanos::ZERO);
+        // Slow-start growth on a clean ACK…
+        f.on_ack(Nanos::from_micros(40), MSS, false, u64::MAX);
+        // …and a multiplicative decrease on three dup-ACKs.
+        for _ in 0..3 {
+            f.on_ack(Nanos::from_micros(50), MSS, false, u64::MAX);
+        }
+        let c = trace.counts().unwrap();
+        assert!(c.of(TraceKind::CcUpdate) >= 2, "growth + decrease traced");
+        trace.with(|t| {
+            for r in t.records() {
+                match r.event {
+                    TraceEvent::CcUpdate { flow, cwnd_bytes } => {
+                        assert_eq!(flow, 1);
+                        assert!(cwnd_bytes > 0);
+                    }
+                    other => panic!("unexpected event {other:?}"),
+                }
+            }
+        });
     }
 
     #[test]
@@ -704,11 +770,7 @@ mod tests {
     fn single_packet_message_has_no_tlp() {
         // The Fig 4 asymmetry: a 128 B RPC (one packet) cannot arm TLP and
         // must wait out the full RTO.
-        let mut f = Flow::new(
-            FlowId(2),
-            FlowConfig::for_mtu(MTU),
-            Box::new(Dctcp::new()),
-        );
+        let mut f = Flow::new(FlowId(2), FlowConfig::for_mtu(MTU), Box::new(Dctcp::new()));
         f.queue_message(128);
         let pkts = drain(&mut f, Nanos::ZERO);
         assert_eq!(pkts.len(), 1);
@@ -721,11 +783,7 @@ mod tests {
 
     #[test]
     fn message_boundaries_set_msg_end_flag() {
-        let mut f = Flow::new(
-            FlowId(3),
-            FlowConfig::for_mtu(MTU),
-            Box::new(Reno::new()),
-        );
+        let mut f = Flow::new(FlowId(3), FlowConfig::for_mtu(MTU), Box::new(Reno::new()));
         let end = f.queue_message(2 * MSS + 100);
         assert_eq!(end, 2 * MSS + 100);
         let pkts = drain(&mut f, Nanos::ZERO);
@@ -742,11 +800,7 @@ mod tests {
 
     #[test]
     fn messages_do_not_cross_segment_boundaries() {
-        let mut f = Flow::new(
-            FlowId(4),
-            FlowConfig::for_mtu(MTU),
-            Box::new(Reno::new()),
-        );
+        let mut f = Flow::new(FlowId(4), FlowConfig::for_mtu(MTU), Box::new(Reno::new()));
         f.queue_message(100);
         f.queue_message(100);
         let pkts = drain(&mut f, Nanos::ZERO);
@@ -774,18 +828,14 @@ mod tests {
             f.on_ack(Nanos::from_micros(50), 0, false, u64::MAX);
         }
         drain(&mut f, Nanos::from_micros(50)); // emits retransmit of seg 0
-        // ACK covering the retransmitted segment: no RTT sample from it.
+                                               // ACK covering the retransmitted segment: no RTT sample from it.
         f.on_ack(Nanos::from_millis(1), MSS, false, u64::MAX);
         assert_eq!(f.srtt(), None);
     }
 
     #[test]
     fn idle_flow_has_no_timers() {
-        let mut f = Flow::new(
-            FlowId(5),
-            FlowConfig::for_mtu(MTU),
-            Box::new(Reno::new()),
-        );
+        let mut f = Flow::new(FlowId(5), FlowConfig::for_mtu(MTU), Box::new(Reno::new()));
         f.queue_message(100);
         drain(&mut f, Nanos::ZERO);
         f.on_ack(Nanos::from_micros(40), 100, false, u64::MAX);
@@ -797,11 +847,7 @@ mod tests {
 
     #[test]
     fn ece_is_counted_and_passed_to_cc() {
-        let mut f = Flow::new(
-            FlowId(6),
-            FlowConfig::for_mtu(MTU),
-            Box::new(Dctcp::new()),
-        );
+        let mut f = Flow::new(FlowId(6), FlowConfig::for_mtu(MTU), Box::new(Dctcp::new()));
         f.set_greedy();
         drain(&mut f, Nanos::ZERO);
         f.on_ack(Nanos::from_micros(40), MSS, true, u64::MAX);

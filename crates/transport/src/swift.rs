@@ -71,8 +71,8 @@ impl CongestionControl for Swift {
             w.cwnd += self.ai * w.mss * newly_acked as f64 / w.cwnd;
         } else if now.saturating_sub(self.last_decrease) >= rtt {
             // Multiplicative decrease proportional to overshoot, capped.
-            let over = (rtt.as_nanos() as f64 - self.target.as_nanos() as f64)
-                / rtt.as_nanos() as f64;
+            let over =
+                (rtt.as_nanos() as f64 - self.target.as_nanos() as f64) / rtt.as_nanos() as f64;
             let factor = (1.0 - over).max(self.beta);
             w.cwnd *= factor;
             w.clamp_floors();

@@ -75,7 +75,7 @@ proptest! {
             f.on_ack(now, cum, ece, u64::MAX);
             prop_assert!(f.acked_bytes() >= last_una, "snd_una must be monotone");
             last_una = f.acked_bytes();
-            prop_assert!(f.cwnd() >= MSS as u64, "cwnd floor");
+            prop_assert!(f.cwnd() >= MSS, "cwnd floor");
         }
     }
 

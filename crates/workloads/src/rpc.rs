@@ -15,14 +15,12 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 use hostcc_metrics::Histogram;
 use hostcc_sim::{Nanos, Rng};
 use hostcc_transport::Flow;
 
 /// RPC client configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RpcConfig {
     /// Request sizes cycled through (uniformly at random).
     pub sizes: Vec<u64>,
@@ -263,8 +261,10 @@ mod tests {
 
     #[test]
     fn open_loop_sends_regardless_of_outstanding() {
-        let mut cfg = RpcConfig::default();
-        cfg.open_loop_rate = Some(100_000.0); // 100k req/s → ~10 µs gaps
+        let cfg = RpcConfig {
+            open_loop_rate: Some(100_000.0), // 100k req/s → ~10 µs gaps
+            ..RpcConfig::default()
+        };
         let mut c = RpcClient::new(cfg, Rng::new(5));
         let mut f = flow();
         // 1 ms with no completions at all: many requests pile up.
@@ -274,8 +274,10 @@ mod tests {
 
     #[test]
     fn open_loop_completions_match_in_order() {
-        let mut cfg = RpcConfig::default();
-        cfg.open_loop_rate = Some(1_000_000.0);
+        let cfg = RpcConfig {
+            open_loop_rate: Some(1_000_000.0),
+            ..RpcConfig::default()
+        };
         let mut c = RpcClient::new(cfg, Rng::new(6));
         let mut f = flow();
         c.maybe_send(Nanos::from_micros(30), &mut f);

@@ -1,7 +1,5 @@
 //! Workload parameter sets from the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// The RPC sizes of Fig 4/12/15: 128 B to 32 KiB.
 pub const PAPER_RPC_SIZES: [u64; 5] = [128, 512, 2048, 8192, 32768];
 
@@ -10,7 +8,7 @@ pub const PAPER_RPC_SIZES: [u64; 5] = [128, 512, 2048, 8192, 32768];
 /// "a NetApp-T that generates 4 long flows, each flow from one sender-side
 /// CPU core to one receiver-side CPU core on the NIC-local NUMA node
 /// (DCTCP needs a minimum of 4 cores to saturate 100 Gbps)" (§2.2).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct NetAppT {
     /// Number of greedy flows.
     pub flows: u32,
@@ -26,7 +24,7 @@ impl Default for NetAppT {
 ///
 /// The degree scales the number of cores (8 per 1×) and thereby the
 /// in-flight memory requests; 0 disables it.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MAppSpec {
     /// Congestion degree (paper sweeps 0×–3×).
     pub degree: f64,
@@ -47,7 +45,7 @@ impl MAppSpec {
 /// Incast (Fig 13): multiple senders fan into one receiver through a
 /// single switch port; the degree of incast is the total number of active
 /// concurrent flows at the receiver, 4–10 in the paper (1×–2.5×).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IncastSpec {
     /// Number of sender hosts (the paper uses 2).
     pub senders: u32,

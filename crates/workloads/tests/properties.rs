@@ -76,8 +76,10 @@ proptest! {
     /// Open-loop completions drain in FIFO order and never double-count.
     #[test]
     fn open_loop_completion_accounting(seed in any::<u64>()) {
-        let mut cfg = RpcConfig::default();
-        cfg.open_loop_rate = Some(500_000.0);
+        let cfg = RpcConfig {
+            open_loop_rate: Some(500_000.0),
+            ..RpcConfig::default()
+        };
         let mut c = RpcClient::new(cfg, Rng::new(seed));
         let mut f = flow();
         c.maybe_send(Nanos::from_micros(100), &mut f);

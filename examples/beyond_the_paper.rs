@@ -21,8 +21,14 @@ fn main() {
     println!("1) Sender-side host congestion (TX DMA starved by sender MApp)\n");
     let tx_base = quick(Scenario::paper_baseline().with_sender_congestion(3.0, false));
     let tx_hcc = quick(Scenario::paper_baseline().with_sender_congestion(3.0, true));
-    println!("   sender 3x, no response : {:>6.1} Gbps", tx_base.goodput_gbps());
-    println!("   sender 3x, +response   : {:>6.1} Gbps", tx_hcc.goodput_gbps());
+    println!(
+        "   sender 3x, no response : {:>6.1} Gbps",
+        tx_base.goodput_gbps()
+    );
+    println!(
+        "   sender 3x, +response   : {:>6.1} Gbps",
+        tx_hcc.goodput_gbps()
+    );
     println!("   (paper Fig 5: the sender arm keeps network traffic from being starved)\n");
 
     println!("2) NIC-buffer occupancy as the congestion signal (paper §6)\n");

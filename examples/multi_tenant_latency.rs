@@ -18,9 +18,16 @@ fn run(name: &str, s: Scenario) {
     s.warmup = Nanos::from_millis(3);
     s.measure = Nanos::from_millis(150); // enough closed-loop RPCs for P99.9
     let r = Simulation::new(s).run();
-    println!("\n{name}: bulk tenant {:.1} Gbps, drops {:.3}%, timeouts {}",
-        r.goodput_gbps(), r.drop_rate_pct, r.timeouts);
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "size", "P50", "P99", "P99.9", "samples");
+    println!(
+        "\n{name}: bulk tenant {:.1} Gbps, drops {:.3}%, timeouts {}",
+        r.goodput_gbps(),
+        r.drop_rate_pct,
+        r.timeouts
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}",
+        "size", "P50", "P99", "P99.9", "samples"
+    );
     for size in PAPER_RPC_SIZES {
         if let Some([p50, _, p99, p999, _]) = r.rpc_whiskers(size) {
             let n = r.rpc.get(&size).map(|x| x.count).unwrap_or(0);

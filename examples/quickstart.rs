@@ -21,7 +21,10 @@ fn main() {
     // And the uncongested reference.
     let reference = Simulation::new(Scenario::paper_baseline()).run();
 
-    println!("{:<16} {:>10} {:>10} {:>12} {:>10}", "config", "tput", "drops", "NIC drops", "mem(MApp)");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>10}",
+        "config", "tput", "drops", "NIC drops", "mem(MApp)"
+    );
     for (name, r) in [
         ("no congestion", &reference),
         ("dctcp @ 3x", &baseline),

@@ -64,7 +64,11 @@ fn claim_hostcc_does_not_starve_mapp() {
     // Fig 10 right: MApp keeps a meaningful share under hostCC; and when
     // the network needs nothing, MApp gets everything back.
     let hcc = quick(Scenario::with_congestion(3.0).enable_hostcc());
-    assert!(hcc.mapp_mem_util > 0.05, "MApp starved: {}", hcc.mapp_mem_util);
+    assert!(
+        hcc.mapp_mem_util > 0.05,
+        "MApp starved: {}",
+        hcc.mapp_mem_util
+    );
     // No network traffic at all: MApp unthrottled despite hostCC.
     let mut idle = Scenario::with_congestion(3.0).enable_hostcc();
     idle.flows_per_sender = vec![0];
@@ -317,7 +321,11 @@ fn extension_nic_buffer_signal_reacts_later_than_iio() {
     }
     let nic = quick(s);
     // Both still beat vanilla DCTCP…
-    assert!(nic.goodput_gbps() > 55.0, "nic-signal tput {:.1}", nic.goodput_gbps());
+    assert!(
+        nic.goodput_gbps() > 55.0,
+        "nic-signal tput {:.1}",
+        nic.goodput_gbps()
+    );
     // …but the NIC signal sustains much higher standing NIC queues.
     assert!(
         nic.nic_peak_bytes > iio.nic_peak_bytes,
@@ -342,7 +350,11 @@ fn extension_swift_delay_cc_sees_host_congestion_in_rtt() {
         swift.drop_rate_pct,
         dctcp.drop_rate_pct
     );
-    assert!(swift.goodput_gbps() > 20.0, "swift collapsed: {:.1}", swift.goodput_gbps());
+    assert!(
+        swift.goodput_gbps() > 20.0,
+        "swift collapsed: {:.1}",
+        swift.goodput_gbps()
+    );
 }
 
 #[test]
