@@ -1,9 +1,11 @@
-//! `repro` — regenerate any figure of the hostCC paper, or run a single
-//! scenario with structured tracing.
+//! `repro` — regenerate any figure of the hostCC paper, run a parameter
+//! sweep, or run a single scenario with structured tracing.
 //!
 //! ```text
 //! repro [--quick] [--csv DIR] <fig2|fig3|...|fig19|all>
 //! repro [--quick] [--trace PATH] [--trace-filter CATS] <baseline|congested|hostcc|incast>
+//! repro sweep [--quick] [--workers N] [--out DIR] <preset | axis=v1,v2 ...>
+//! repro sweep --list
 //! ```
 //!
 //! Every run is deterministic; `--quick` uses short measurement windows
@@ -15,11 +17,19 @@
 //! Chrome trace-event JSON (load the file in Perfetto / `chrome://tracing`),
 //! or as compact JSONL when `PATH` ends in `.jsonl`. `--trace-filter` limits
 //! collection to a comma-separated category list (e.g. `pcie,mba,drop`).
+//!
+//! `repro sweep` expands a declarative grid — a named preset
+//! (`repro sweep --list`) or ad-hoc axes (`repro sweep hostcc=off,on
+//! degree=0,1,2,3`) — and runs every cell across a worker pool
+//! (`--workers 0` = one per core). Per-cell results are bit-identical for
+//! any worker count; `--out DIR` writes `manifest.json` and `results.csv`.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use hostcc_experiments::figures::{self, Budget, FigureReport};
+use hostcc_experiments::grid::GridSpec;
+use hostcc_experiments::sweep::{run_sweep, SweepOptions};
 use hostcc_experiments::{Scenario, Simulation};
 use hostcc_trace::{
     write_chrome_trace, write_jsonl, SimRateProfiler, TraceFilter, TraceHandle, Tracer,
@@ -61,23 +71,58 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--quick] [--csv DIR] [--trace PATH] [--trace-filter CATS] <target>..."
     );
-    eprintln!(
-        "figures: all {}",
-        FIGS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
-    );
-    eprintln!(
-        "scenarios: {}",
-        SCENARIOS
-            .iter()
-            .map(|(n, _)| *n)
-            .collect::<Vec<_>>()
-            .join(" ")
-    );
+    eprintln!("       repro sweep [--quick] [--workers N] [--out DIR] <preset | axis=v1,v2 ...>");
+    eprintln!("figures: all {}", valid_figures().join(" "));
+    eprintln!("scenarios: {}", valid_scenarios().join(" "));
     eprintln!(
         "trace categories: all {}",
         hostcc_trace::TraceKind::categories().join(" ")
     );
     ExitCode::FAILURE
+}
+
+fn valid_figures() -> Vec<&'static str> {
+    FIGS.iter().map(|(n, _)| *n).collect()
+}
+
+fn valid_scenarios() -> Vec<&'static str> {
+    SCENARIOS.iter().map(|(n, _)| *n).collect()
+}
+
+/// Validate the requested targets and expand `all`, keeping the request
+/// order. *Every* name is checked up front — an unknown target is an error
+/// even when `all` appears alongside it (a silently dropped typo used to
+/// make `repro all figX` exit 0 without running `figX`).
+fn resolve_targets(requested: &[String]) -> Result<Vec<String>, String> {
+    let known =
+        |t: &str| SCENARIOS.iter().any(|(n, _)| *n == t) || FIGS.iter().any(|(n, _)| *n == t);
+    let unknown: Vec<&str> = requested
+        .iter()
+        .map(String::as_str)
+        .filter(|t| *t != "all" && !known(t))
+        .collect();
+    if !unknown.is_empty() {
+        return Err(format!(
+            "unknown target(s): {}\nvalid figures: all {}\nvalid scenarios: {}",
+            unknown.join(" "),
+            valid_figures().join(" "),
+            valid_scenarios().join(" "),
+        ));
+    }
+    if requested.is_empty() {
+        return Err("no target given".to_string());
+    }
+    if requested.iter().any(|t| t == "all") {
+        // `all` covers every figure; explicitly-named scenarios still run.
+        Ok(requested
+            .iter()
+            .filter(|t| SCENARIOS.iter().any(|(n, _)| *n == t.as_str()))
+            .cloned()
+            .chain(FIGS.iter().map(|(n, _)| n.to_string()))
+            .collect())
+    } else {
+        Ok(requested.to_vec())
+    }
 }
 
 fn sanitize(caption: &str) -> String {
@@ -173,13 +218,154 @@ fn run_scenario(
     Ok(())
 }
 
+/// Build a [`GridSpec`] from the sweep subcommand's positional arguments:
+/// an optional leading preset name, then `axis=v1,v2,...` overrides.
+fn build_spec(positionals: &[String]) -> Result<GridSpec, String> {
+    let mut spec: Option<GridSpec> = None;
+    for arg in positionals {
+        if let Some((axis, values)) = arg.split_once('=') {
+            let s = spec.get_or_insert_with(|| GridSpec::new("custom", Scenario::paper_baseline()));
+            s.set_axis(axis, values)?;
+        } else if spec.is_none() {
+            spec = Some(GridSpec::preset(arg).ok_or_else(|| {
+                format!(
+                    "unknown preset '{arg}'\nvalid presets: {}",
+                    GridSpec::presets()
+                        .iter()
+                        .map(|(n, _)| *n)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            })?);
+        } else {
+            return Err(format!(
+                "unexpected argument '{arg}': the preset must come first, axes as name=v1,v2"
+            ));
+        }
+    }
+    spec.ok_or_else(|| "no grid given: pass a preset name or axis=value,... specs".to_string())
+}
+
+fn sweep_usage() -> ExitCode {
+    eprintln!(
+        "usage: repro sweep [--quick] [--workers N] [--out DIR] [--no-trace] \
+         [--trace-filter CATS] <preset | axis=v1,v2 ...>"
+    );
+    eprintln!("       repro sweep --list");
+    eprintln!("presets:");
+    for (name, desc) in GridSpec::presets() {
+        eprintln!("  {name:<12} {desc}");
+    }
+    eprintln!("axes: ddio hostcc bt it level cc degree flows incast mtu ecn_kb drop seed");
+    ExitCode::FAILURE
+}
+
+fn sweep_main(args: &[String]) -> ExitCode {
+    let mut budget = Budget::standard();
+    let mut opts = SweepOptions::default();
+    let mut out_dir: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => budget = Budget::quick(),
+            "--no-trace" => opts.trace = false,
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => opts.workers = n,
+                    None => {
+                        eprintln!("--workers needs a number (0 = one per core)");
+                        return sweep_usage();
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = Some(dir.clone()),
+                    None => return sweep_usage(),
+                }
+            }
+            "--trace-filter" => {
+                i += 1;
+                match args.get(i).map(|s| TraceFilter::parse(s)) {
+                    Some(Ok(f)) => opts.trace_filter = f,
+                    Some(Err(e)) => {
+                        eprintln!("bad --trace-filter: {e}");
+                        return sweep_usage();
+                    }
+                    None => return sweep_usage(),
+                }
+            }
+            "--list" => {
+                println!("presets:");
+                for (name, desc) in GridSpec::presets() {
+                    println!("  {name:<12} {desc}");
+                }
+                println!(
+                    "axes: ddio hostcc bt it level cc degree flows incast mtu ecn_kb drop seed"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return sweep_usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                return sweep_usage();
+            }
+            positional => positionals.push(positional.to_string()),
+        }
+        i += 1;
+    }
+    let mut spec = match build_spec(&positionals) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return sweep_usage();
+        }
+    };
+    spec.base = budget.apply(spec.base);
+    println!("sweep '{}': {} cells", spec.name, spec.cell_count());
+    let manifest = match run_sweep(&spec, &opts) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("invalid grid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", manifest.summary_table().render());
+    println!("{}", manifest.render_stats());
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for (file, contents) in [
+            ("manifest.json", manifest.to_json()),
+            ("results.csv", manifest.to_csv()),
+        ] {
+            let path = format!("{dir}/{file}");
+            if let Err(e) = std::fs::write(&path, contents) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("[wrote {path}]");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("sweep") {
+        return sweep_main(&raw[1..]);
+    }
     let mut budget = Budget::standard();
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut filter = TraceFilter::all();
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => budget = Budget::quick(),
@@ -211,18 +397,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    if targets.is_empty() {
-        return usage();
-    }
-    if targets.iter().any(|t| t == "all") {
-        let scenarios = targets
-            .iter()
-            .filter(|t| SCENARIOS.iter().any(|(n, _)| *n == t.as_str()))
-            .cloned();
-        targets = scenarios
-            .chain(FIGS.iter().map(|(n, _)| n.to_string()))
-            .collect();
-    }
+    targets = match resolve_targets(&targets) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if trace_path.is_some() {
         let traceable = targets
             .iter()
@@ -261,4 +442,64 @@ fn main() -> ExitCode {
         println!("[{} regenerated in {:.1?}]\n", t, started.elapsed());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_target_is_an_error_even_with_all() {
+        // The old expansion silently dropped unknown names whenever `all`
+        // was present, exiting 0 without running them.
+        let err = resolve_targets(&names(&["all", "fig99"])).unwrap_err();
+        assert!(err.contains("fig99"), "{err}");
+        assert!(err.contains("valid figures"), "{err}");
+        let err = resolve_targets(&names(&["nope"])).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn all_expands_to_every_figure_keeping_scenarios() {
+        let t = resolve_targets(&names(&["baseline", "all"])).unwrap();
+        assert_eq!(t[0], "baseline");
+        assert_eq!(t.len(), 1 + FIGS.len());
+        assert!(t.iter().any(|x| x == "fig19"));
+    }
+
+    #[test]
+    fn plain_targets_pass_through_in_order() {
+        let t = resolve_targets(&names(&["fig3", "hostcc", "fig2"])).unwrap();
+        assert_eq!(t, names(&["fig3", "hostcc", "fig2"]));
+        assert!(resolve_targets(&[]).is_err());
+    }
+
+    #[test]
+    fn build_spec_accepts_presets_and_axes() {
+        assert_eq!(build_spec(&names(&["fig2"])).unwrap().cell_count(), 8);
+        // A preset's axes can be overridden afterwards.
+        let s = build_spec(&names(&["fig2", "degree=0,3"])).unwrap();
+        assert_eq!(s.cell_count(), 4);
+        // Pure axis specs start from the paper baseline.
+        let s = build_spec(&names(&["hostcc=off,on", "mtu=1500,9000"])).unwrap();
+        assert_eq!(s.name, "custom");
+        assert_eq!(s.cell_count(), 4);
+    }
+
+    #[test]
+    fn build_spec_rejects_bad_input() {
+        assert!(build_spec(&[]).is_err());
+        assert!(build_spec(&names(&["figZZ"]))
+            .unwrap_err()
+            .contains("valid presets"));
+        assert!(build_spec(&names(&["fig2", "bogus=1"])).is_err());
+        assert!(
+            build_spec(&names(&["fig2", "baseline"])).is_err(),
+            "preset after axes/preset"
+        );
+    }
 }

@@ -3,7 +3,7 @@
 use hostcc_metrics::{f2, pct, Table};
 use hostcc_workloads::PAPER_RPC_SIZES;
 
-use super::{run, us, Budget, FigureReport};
+use super::{run, sweep_preset, us, Budget, FigureReport};
 use crate::Scenario;
 
 /// Figure 2: throughput, drop rate, and memory-bandwidth split vs the
@@ -11,23 +11,17 @@ use crate::Scenario;
 pub fn fig2(budget: &Budget) -> FigureReport {
     let mut left = Table::new(["degree", "ddio", "tput_gbps", "drop_pct"]);
     let mut right = Table::new(["degree", "ddio", "netapp_mem_util", "mapp_mem_util"]);
-    for ddio in [false, true] {
-        for degree in [0.0, 1.0, 2.0, 3.0] {
-            let mut s = budget.apply(Scenario::with_congestion(degree));
-            if ddio {
-                s = s.enable_ddio();
-            }
-            let r = run(s);
-            let d = format!("{degree}x");
-            let dd = if ddio { "on" } else { "off" };
-            left.row([
-                d.clone(),
-                dd.into(),
-                f2(r.goodput_gbps()),
-                pct(r.drop_rate_pct),
-            ]);
-            right.row([d, dd.into(), f2(r.net_mem_util), f2(r.mapp_mem_util)]);
-        }
+    for c in sweep_preset("fig2", budget) {
+        let d = format!("{}x", c.get("degree").unwrap());
+        let dd = c.get("ddio").unwrap().to_string();
+        let m = &c.metrics;
+        left.row([
+            d.clone(),
+            dd.clone(),
+            f2(m.goodput_gbps),
+            pct(m.drop_rate_pct),
+        ]);
+        right.row([d, dd, f2(m.net_mem_util), f2(m.mapp_mem_util)]);
     }
     FigureReport {
         id: "Figure 2",
@@ -46,38 +40,22 @@ pub fn fig2(budget: &Budget) -> FigureReport {
 /// number of active flows (3× congestion).
 pub fn fig3(budget: &Budget) -> FigureReport {
     let mut mtu_panel = Table::new(["mtu", "ddio", "tput_gbps", "drop_pct"]);
-    for ddio in [false, true] {
-        for mtu in [1500u64, 4000, 9000] {
-            let mut s = budget.apply(Scenario::with_congestion(3.0));
-            s.mtu = mtu;
-            if ddio {
-                s = s.enable_ddio();
-            }
-            let r = run(s);
-            mtu_panel.row([
-                format!("{mtu}B"),
-                (if ddio { "on" } else { "off" }).into(),
-                f2(r.goodput_gbps()),
-                pct(r.drop_rate_pct),
-            ]);
-        }
+    for c in sweep_preset("fig3-mtu", budget) {
+        mtu_panel.row([
+            format!("{}B", c.get("mtu").unwrap()),
+            c.get("ddio").unwrap().to_string(),
+            f2(c.metrics.goodput_gbps),
+            pct(c.metrics.drop_rate_pct),
+        ]);
     }
     let mut flows_panel = Table::new(["flows", "ddio", "tput_gbps", "drop_pct"]);
-    for ddio in [false, true] {
-        for flows in [4u32, 8, 16] {
-            let mut s = budget.apply(Scenario::with_congestion(3.0));
-            s.flows_per_sender = vec![flows];
-            if ddio {
-                s = s.enable_ddio();
-            }
-            let r = run(s);
-            flows_panel.row([
-                flows.to_string(),
-                (if ddio { "on" } else { "off" }).into(),
-                f2(r.goodput_gbps()),
-                pct(r.drop_rate_pct),
-            ]);
-        }
+    for c in sweep_preset("fig3-flows", budget) {
+        flows_panel.row([
+            c.get("flows").unwrap().to_string(),
+            c.get("ddio").unwrap().to_string(),
+            f2(c.metrics.goodput_gbps),
+            pct(c.metrics.drop_rate_pct),
+        ]);
     }
     FigureReport {
         id: "Figure 3",

@@ -3,37 +3,25 @@
 use hostcc_metrics::{f2, pct, Table};
 
 use super::baseline::latency_figure;
-use super::{run, Budget, FigureReport};
-use crate::{Scenario, Simulation};
+use super::{sweep_preset, Budget, FigureReport};
+use crate::Scenario;
 
 /// Figure 9: MBA efficacy — NetApp-T and MApp throughput at hard-coded
 /// host-local response levels 0–4, DDIO on/off, 3× congestion.
 pub fn fig9(budget: &Budget) -> FigureReport {
     let mut left = Table::new(["level", "ddio", "netapp_tput_gbps", "mapp_tput_gbps"]);
     let mut right = Table::new(["level", "ddio", "netapp_mem_util", "mapp_mem_util"]);
-    for ddio in [false, true] {
-        for level in 0..=4u8 {
-            let mut s = budget.apply(Scenario::with_congestion(3.0));
-            if ddio {
-                s = s.enable_ddio();
-            }
-            let mut sim = Simulation::new(s);
-            sim.force_mba_level(level);
-            let r = sim.run();
-            let dd = if ddio { "on" } else { "off" };
-            left.row([
-                level.to_string(),
-                dd.into(),
-                f2(r.goodput_gbps()),
-                f2(r.mapp_app_gbps),
-            ]);
-            right.row([
-                level.to_string(),
-                dd.into(),
-                f2(r.net_mem_util),
-                f2(r.mapp_mem_util),
-            ]);
-        }
+    for c in sweep_preset("fig9", budget) {
+        let level = c.get("level").unwrap().to_string();
+        let dd = c.get("ddio").unwrap().to_string();
+        let m = &c.metrics;
+        left.row([
+            level.clone(),
+            dd.clone(),
+            f2(m.goodput_gbps),
+            f2(m.mapp_app_gbps),
+        ]);
+        right.row([level, dd, f2(m.net_mem_util), f2(m.mapp_mem_util)]);
     }
     FigureReport {
         id: "Figure 9",
@@ -53,36 +41,27 @@ pub fn fig9(budget: &Budget) -> FigureReport {
 /// degrees.
 fn hostcc_benefit_figure(
     budget: &Budget,
-    ddio: bool,
+    preset: &'static str,
     id: &'static str,
     title: &'static str,
 ) -> FigureReport {
     let mut left = Table::new(["degree", "cc", "tput_gbps", "drop_pct"]);
     let mut right = Table::new(["degree", "cc", "netapp_mem_util", "mapp_mem_util"]);
-    for hostcc in [false, true] {
-        for degree in [0.0, 1.0, 2.0, 3.0] {
-            let mut s = budget.apply(Scenario::with_congestion(degree));
-            if ddio {
-                s = s.enable_ddio();
-            }
-            if hostcc {
-                s = s.enable_hostcc();
-            }
-            let r = run(s);
-            let name = if hostcc { "dctcp+hostcc" } else { "dctcp" };
-            left.row([
-                format!("{degree}x"),
-                name.into(),
-                f2(r.goodput_gbps()),
-                pct(r.drop_rate_pct),
-            ]);
-            right.row([
-                format!("{degree}x"),
-                name.into(),
-                f2(r.net_mem_util),
-                f2(r.mapp_mem_util),
-            ]);
-        }
+    for c in sweep_preset(preset, budget) {
+        let name = if c.get("hostcc") == Some("on") {
+            "dctcp+hostcc"
+        } else {
+            "dctcp"
+        };
+        let d = format!("{}x", c.get("degree").unwrap());
+        let m = &c.metrics;
+        left.row([
+            d.clone(),
+            name.into(),
+            f2(m.goodput_gbps),
+            pct(m.drop_rate_pct),
+        ]);
+        right.row([d, name.into(), f2(m.net_mem_util), f2(m.mapp_mem_util)]);
     }
     FigureReport {
         id,
@@ -102,7 +81,7 @@ fn hostcc_benefit_figure(
 pub fn fig10(budget: &Budget) -> FigureReport {
     hostcc_benefit_figure(
         budget,
-        false,
+        "fig10",
         "Figure 10",
         "hostCC maintains target bandwidth and near-zero drops under host congestion",
     )
@@ -112,36 +91,28 @@ pub fn fig10(budget: &Budget) -> FigureReport {
 pub fn fig11(budget: &Budget) -> FigureReport {
     let mut mtu_panel = Table::new(["mtu", "cc", "tput_gbps", "drop_pct"]);
     let mut flows_panel = Table::new(["flows", "cc", "tput_gbps", "drop_pct"]);
-    for hostcc in [false, true] {
-        let name = if hostcc { "dctcp+hostcc" } else { "dctcp" };
-        for mtu in [1500u64, 4000, 9000] {
-            let mut s = budget.apply(Scenario::with_congestion(3.0));
-            s.mtu = mtu;
-            if hostcc {
-                s = s.enable_hostcc();
-            }
-            let r = run(s);
-            mtu_panel.row([
-                format!("{mtu}B"),
-                name.into(),
-                f2(r.goodput_gbps()),
-                pct(r.drop_rate_pct),
-            ]);
+    let cc_name = |c: &crate::sweep::CellRun| {
+        if c.get("hostcc") == Some("on") {
+            "dctcp+hostcc"
+        } else {
+            "dctcp"
         }
-        for flows in [4u32, 8, 16] {
-            let mut s = budget.apply(Scenario::with_congestion(3.0));
-            s.flows_per_sender = vec![flows];
-            if hostcc {
-                s = s.enable_hostcc();
-            }
-            let r = run(s);
-            flows_panel.row([
-                flows.to_string(),
-                name.into(),
-                f2(r.goodput_gbps()),
-                pct(r.drop_rate_pct),
-            ]);
-        }
+    };
+    for c in sweep_preset("fig11-mtu", budget) {
+        mtu_panel.row([
+            format!("{}B", c.get("mtu").unwrap()),
+            cc_name(&c).into(),
+            f2(c.metrics.goodput_gbps),
+            pct(c.metrics.drop_rate_pct),
+        ]);
+    }
+    for c in sweep_preset("fig11-flows", budget) {
+        flows_panel.row([
+            c.get("flows").unwrap().to_string(),
+            cc_name(&c).into(),
+            f2(c.metrics.goodput_gbps),
+            pct(c.metrics.drop_rate_pct),
+        ]);
     }
     FigureReport {
         id: "Figure 11",
@@ -191,25 +162,25 @@ pub fn fig13(budget: &Budget) -> FigureReport {
         "switch_drops",
         "nic_drops",
     ]);
-    for (panel, mapp) in [(&mut a, 0.0), (&mut b, 3.0)] {
-        for hostcc in [false, true] {
-            let name = if hostcc { "dctcp+hostcc" } else { "dctcp" };
-            for degree in [1.0f64, 1.5, 2.0, 2.5] {
-                let flows = (4.0 * degree).round() as u32;
-                let mut s = budget.apply(Scenario::incast(flows, mapp));
-                if hostcc {
-                    s = s.enable_hostcc();
-                }
-                let r = run(s);
-                panel.row([
-                    format!("{degree}x"),
-                    name.into(),
-                    f2(r.goodput_gbps()),
-                    pct(r.drop_rate_pct),
-                    r.switch_drops.to_string(),
-                    r.nic_drops.to_string(),
-                ]);
-            }
+    for (panel, preset) in [(&mut a, "fig13a"), (&mut b, "fig13b")] {
+        for c in sweep_preset(preset, budget) {
+            let name = if c.get("hostcc") == Some("on") {
+                "dctcp+hostcc"
+            } else {
+                "dctcp"
+            };
+            // The incast axis carries total flows; the paper labels rows by
+            // the incast *degree* (flows / the 4-flow baseline).
+            let flows: f64 = c.get("incast").unwrap().parse().unwrap();
+            let m = &c.metrics;
+            panel.row([
+                format!("{}x", flows / 4.0),
+                name.into(),
+                f2(m.goodput_gbps),
+                pct(m.drop_rate_pct),
+                m.switch_drops.to_string(),
+                m.nic_drops.to_string(),
+            ]);
         }
     }
     FigureReport {
@@ -229,7 +200,7 @@ pub fn fig13(budget: &Budget) -> FigureReport {
 pub fn fig14(budget: &Budget) -> FigureReport {
     hostcc_benefit_figure(
         budget,
-        true,
+        "fig14",
         "Figure 14",
         "hostCC with DDIO enabled: same benefits as the DDIO-disabled case",
     )

@@ -113,6 +113,26 @@ pub(crate) fn run(s: Scenario) -> RunResult {
     Simulation::new(s).run()
 }
 
+/// Expand a named grid preset with the budget's throughput windows and run
+/// it through the parallel sweep engine. Rows come back in grid-expansion
+/// order — which matches the row order of the paper's panels, because the
+/// canonical axis order was chosen to mirror the figures' loop nesting.
+///
+/// Figures built this way inherit the sweep's determinism guarantee, so
+/// running them under a parallel sweep or via the direct harness yields
+/// the same numbers for the same grid.
+pub(crate) fn sweep_preset(name: &str, budget: &Budget) -> Vec<crate::sweep::CellRun> {
+    let mut spec = crate::grid::GridSpec::preset(name)
+        .unwrap_or_else(|| panic!("unknown grid preset '{name}'"));
+    spec.base = budget.apply(spec.base);
+    let cells = spec.expand().expect("figure presets expand cleanly");
+    let opts = crate::sweep::SweepOptions {
+        trace: false,
+        ..Default::default()
+    };
+    crate::sweep::run_cells(&cells, &opts)
+}
+
 /// Format a latency in microseconds for tables.
 pub(crate) fn us(n: Nanos) -> String {
     format!("{:.1}", n.as_micros_f64())

@@ -1,24 +1,19 @@
 //! Figures 16–17: sensitivity to hostCC's two parameters, `B_T` and `I_T`.
 
 use hostcc_metrics::{f2, pct, Table};
-use hostcc_sim::Rate;
 
-use super::{run, Budget, FigureReport};
-use crate::Scenario;
+use super::{sweep_preset, Budget, FigureReport};
 
 /// Figure 16: sweep the target network bandwidth `B_T` from 10 to
 /// 100 Gbps at 3× host congestion.
 pub fn fig16(budget: &Budget) -> FigureReport {
     let mut left = Table::new(["bt_gbps", "tput_gbps", "drop_pct"]);
     let mut right = Table::new(["bt_gbps", "netapp_mem_util", "mapp_mem_util"]);
-    for bt in (1..=10).map(|i| 10.0 * i as f64) {
-        let mut s = budget.apply(Scenario::with_congestion(3.0)).enable_hostcc();
-        if let Some(hc) = &mut s.hostcc {
-            hc.bt = Rate::gbps(bt);
-        }
-        let r = run(s);
-        left.row([f2(bt), f2(r.goodput_gbps()), pct(r.drop_rate_pct)]);
-        right.row([f2(bt), f2(r.net_mem_util), f2(r.mapp_mem_util)]);
+    for c in sweep_preset("fig16", budget) {
+        let bt = f2(c.get("bt").unwrap().parse().unwrap());
+        let m = &c.metrics;
+        left.row([bt.clone(), f2(m.goodput_gbps), pct(m.drop_rate_pct)]);
+        right.row([bt, f2(m.net_mem_util), f2(m.mapp_mem_util)]);
     }
     FigureReport {
         id: "Figure 16",
@@ -38,14 +33,11 @@ pub fn fig16(budget: &Budget) -> FigureReport {
 pub fn fig17(budget: &Budget) -> FigureReport {
     let mut left = Table::new(["it", "tput_gbps", "drop_pct"]);
     let mut right = Table::new(["it", "netapp_mem_util", "mapp_mem_util"]);
-    for it in [70.0, 75.0, 80.0, 85.0, 90.0] {
-        let mut s = budget.apply(Scenario::with_congestion(3.0)).enable_hostcc();
-        if let Some(hc) = &mut s.hostcc {
-            hc.it = it;
-        }
-        let r = run(s);
-        left.row([f2(it), f2(r.goodput_gbps()), pct(r.drop_rate_pct)]);
-        right.row([f2(it), f2(r.net_mem_util), f2(r.mapp_mem_util)]);
+    for c in sweep_preset("fig17", budget) {
+        let it = f2(c.get("it").unwrap().parse().unwrap());
+        let m = &c.metrics;
+        left.row([it.clone(), f2(m.goodput_gbps), pct(m.drop_rate_pct)]);
+        right.row([it, f2(m.net_mem_util), f2(m.mapp_mem_util)]);
     }
     FigureReport {
         id: "Figure 17",

@@ -1,0 +1,754 @@
+//! Declarative experiment grids: the cartesian product of scenario axes.
+//!
+//! The paper's evaluation (§4–§5) is a *grid* of runs — MApp intensities ×
+//! flow counts × MTUs × DDIO × hostCC on/off — yet a [`Scenario`] describes
+//! exactly one point. A [`GridSpec`] names a base scenario plus the axes to
+//! sweep; [`GridSpec::expand`] takes the cartesian product and yields one
+//! self-contained [`Cell`] per combination, each with a deterministically
+//! derived RNG seed (see [`derive_cell_seed`]). Cells are what the parallel
+//! sweep engine in [`crate::sweep`] executes.
+//!
+//! Axes are applied to the base scenario in a fixed canonical order (DDIO
+//! before hostCC, so `enable_hostcc` picks the DDIO-matched `I_T`
+//! threshold; `B_T`/`I_T` after hostCC, so they have a controller to tune),
+//! and cells enumerate in that same order with the first-listed axis
+//! varying slowest — exactly the row order of the paper's tables.
+
+use hostcc_sim::Rate;
+use hostcc_workloads::IncastSpec;
+
+use crate::scenario::{CcKind, Scenario};
+
+/// Hard cap on the number of cells one grid may expand to — a typo guard
+/// (`seed=1..`), not a capacity limit.
+pub const MAX_CELLS: usize = 65_536;
+
+/// Derive the RNG seed of one grid cell from the sweep's base seed and the
+/// cell's canonical parameter key (e.g. `"ddio=off hostcc=on degree=3"`).
+///
+/// The key is hashed with FNV-1a and mixed into the base seed through two
+/// SplitMix64 finalizer rounds, so:
+///
+/// * every cell gets an independent, well-mixed seed — replicas of the same
+///   parameters differ only via the base seed;
+/// * the seed depends on the cell's *parameter assignment*, not its index:
+///   adding values to an axis or reordering a preset never changes the
+///   seeds of pre-existing cells (activating a brand-new axis does, since
+///   every key gains a component);
+/// * serial and parallel execution trivially agree, because the seed is a
+///   pure function of the spec.
+///
+/// The empty key is the identity: a one-cell grid with no axes runs the
+/// base scenario with its own seed, bit-identical to a plain single run.
+pub fn derive_cell_seed(base_seed: u64, cell_key: &str) -> u64 {
+    if cell_key.is_empty() {
+        return base_seed;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cell_key.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = base_seed ^ h;
+    for _ in 0..2 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// One expanded grid point: a fully-resolved scenario plus the parameter
+/// assignment that produced it.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Position in the expansion order (row-major over the axes).
+    pub index: usize,
+    /// Canonical `name=value` key, axes in canonical order — the input to
+    /// [`derive_cell_seed`] and the row label in sweep outputs.
+    pub key: String,
+    /// The individual `(axis, value)` pairs of [`Cell::key`].
+    pub params: Vec<(&'static str, String)>,
+    /// The ready-to-run scenario (seed already derived).
+    pub scenario: Scenario,
+}
+
+impl Cell {
+    /// The value this cell has on `axis`, if that axis is part of the grid.
+    pub fn get(&self, axis: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| *n == axis)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A declarative sweep: a base [`Scenario`] and the axes to vary.
+///
+/// An empty axis means "inherit the base value"; a non-empty axis
+/// contributes one factor to the cartesian product. See the module docs
+/// for the canonical axis order.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Sweep name (manifest header, output file naming).
+    pub name: String,
+    /// The template every cell starts from (including warm-up/measure
+    /// windows and the base RNG seed).
+    pub base: Scenario,
+    /// Receiver DDIO on/off.
+    pub ddio: Vec<bool>,
+    /// hostCC controller on/off (`on` applies the DDIO-matched paper
+    /// config, `off` removes any controller the base had).
+    pub hostcc: Vec<bool>,
+    /// hostCC target network bandwidth `B_T` in Gbps (requires hostCC on
+    /// in every cell).
+    pub bt_gbps: Vec<f64>,
+    /// hostCC IIO occupancy threshold `I_T` (requires hostCC on in every
+    /// cell).
+    pub it: Vec<f64>,
+    /// Fixed MBA response level 0–4 (conflicts with hostCC, which would
+    /// steer the level away).
+    pub mba_level: Vec<u8>,
+    /// Congestion-control protocol.
+    pub cc: Vec<CcKind>,
+    /// MApp congestion degree at the receiver (the paper's 0–3×).
+    pub degree: Vec<f64>,
+    /// Greedy flows on a single sender (resets the base to one sender).
+    pub flows: Vec<u32>,
+    /// Total greedy flows split over two incast senders.
+    pub incast: Vec<u32>,
+    /// MTU in bytes.
+    pub mtu: Vec<u64>,
+    /// Switch ECN marking threshold in KiB (the DCTCP `K` knob).
+    pub ecn_kb: Vec<u64>,
+    /// Fault-injection drop probability on the sender→switch link.
+    pub drop_chance: Vec<f64>,
+    /// Base RNG seeds (replicates; each is mixed per-cell, see
+    /// [`derive_cell_seed`]).
+    pub seed: Vec<u64>,
+}
+
+/// A labeled scenario mutation: one concrete value of one axis.
+type Setter = (String, Box<dyn Fn(&mut Scenario)>);
+
+/// An axis resolved to concrete `(label, setter)` values.
+struct Axis {
+    name: &'static str,
+    values: Vec<Setter>,
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+fn on_off(b: bool) -> String {
+    (if b { "on" } else { "off" }).to_string()
+}
+
+impl GridSpec {
+    /// An axis-less grid over `base` (expands to exactly one cell that is
+    /// bit-identical to running `base` directly).
+    pub fn new(name: impl Into<String>, base: Scenario) -> Self {
+        GridSpec {
+            name: name.into(),
+            base,
+            ddio: Vec::new(),
+            hostcc: Vec::new(),
+            bt_gbps: Vec::new(),
+            it: Vec::new(),
+            mba_level: Vec::new(),
+            cc: Vec::new(),
+            degree: Vec::new(),
+            flows: Vec::new(),
+            incast: Vec::new(),
+            mtu: Vec::new(),
+            ecn_kb: Vec::new(),
+            drop_chance: Vec::new(),
+            seed: Vec::new(),
+        }
+    }
+
+    /// The named grid presets: `(name, description)`, in listing order.
+    /// Every scenario target and throughput figure of the paper's
+    /// evaluation appears here; `GridSpec::preset` resolves each name.
+    pub fn presets() -> &'static [(&'static str, &'static str)] {
+        &[
+            ("baseline", "1 cell: the paper's uncongested baseline"),
+            ("congested", "1 cell: 3x MApp congestion, no hostCC"),
+            ("hostcc", "1 cell: 3x MApp congestion + hostCC"),
+            ("incast", "1 cell: 8-flow incast + 3x congestion + hostCC"),
+            ("fig2", "8 cells: ddio x degree, vanilla DCTCP (Fig 2)"),
+            ("fig3-mtu", "6 cells: ddio x MTU at 3x (Fig 3 left)"),
+            ("fig3-flows", "6 cells: ddio x flows at 3x (Fig 3 right)"),
+            ("fig9", "10 cells: ddio x fixed MBA level 0-4 (Fig 9)"),
+            ("fig10", "8 cells: hostcc x degree, DDIO off (Fig 10)"),
+            ("fig11-mtu", "6 cells: hostcc x MTU at 3x (Fig 11 left)"),
+            (
+                "fig11-flows",
+                "6 cells: hostcc x flows at 3x (Fig 11 right)",
+            ),
+            (
+                "fig13a",
+                "8 cells: hostcc x incast, no host congestion (Fig 13a)",
+            ),
+            ("fig13b", "8 cells: hostcc x incast at 3x (Fig 13b)"),
+            ("fig14", "8 cells: hostcc x degree, DDIO on (Fig 14)"),
+            ("fig16", "10 cells: B_T 10-100 Gbps at 3x + hostCC (Fig 16)"),
+            ("fig17", "5 cells: I_T 70-90 at 3x + hostCC (Fig 17)"),
+            (
+                "figure-grid",
+                "16 cells: ddio x hostcc x degree (Fig 2+10+14 superset)",
+            ),
+            ("faults", "8 cells: hostcc x link drop probability at 3x"),
+        ]
+    }
+
+    /// Resolve a preset name from [`GridSpec::presets`].
+    pub fn preset(name: &str) -> Option<GridSpec> {
+        let base3 = Scenario::with_congestion(3.0);
+        let mut g = match name {
+            "baseline" => GridSpec::new(name, Scenario::paper_baseline()),
+            "congested" => GridSpec::new(name, base3),
+            "hostcc" => GridSpec::new(name, base3.enable_hostcc()),
+            "incast" => GridSpec::new(name, Scenario::incast(8, 3.0).enable_hostcc()),
+            "fig2" => {
+                let mut g = GridSpec::new(name, Scenario::paper_baseline());
+                g.ddio = vec![false, true];
+                g.degree = vec![0.0, 1.0, 2.0, 3.0];
+                g
+            }
+            "fig3-mtu" => {
+                let mut g = GridSpec::new(name, base3);
+                g.ddio = vec![false, true];
+                g.mtu = vec![1500, 4000, 9000];
+                g
+            }
+            "fig3-flows" => {
+                let mut g = GridSpec::new(name, base3);
+                g.ddio = vec![false, true];
+                g.flows = vec![4, 8, 16];
+                g
+            }
+            "fig9" => {
+                let mut g = GridSpec::new(name, base3);
+                g.ddio = vec![false, true];
+                g.mba_level = vec![0, 1, 2, 3, 4];
+                g
+            }
+            "fig10" => {
+                let mut g = GridSpec::new(name, Scenario::paper_baseline());
+                g.hostcc = vec![false, true];
+                g.degree = vec![0.0, 1.0, 2.0, 3.0];
+                g
+            }
+            "fig11-mtu" => {
+                let mut g = GridSpec::new(name, base3);
+                g.hostcc = vec![false, true];
+                g.mtu = vec![1500, 4000, 9000];
+                g
+            }
+            "fig11-flows" => {
+                let mut g = GridSpec::new(name, base3);
+                g.hostcc = vec![false, true];
+                g.flows = vec![4, 8, 16];
+                g
+            }
+            "fig13a" => {
+                let mut g = GridSpec::new(name, Scenario::paper_baseline());
+                g.hostcc = vec![false, true];
+                g.incast = vec![4, 6, 8, 10];
+                g
+            }
+            "fig13b" => {
+                let mut g = GridSpec::new(name, base3);
+                g.hostcc = vec![false, true];
+                g.incast = vec![4, 6, 8, 10];
+                g
+            }
+            "fig14" => {
+                let mut g = GridSpec::new(name, Scenario::paper_baseline().enable_ddio());
+                g.hostcc = vec![false, true];
+                g.degree = vec![0.0, 1.0, 2.0, 3.0];
+                g
+            }
+            "fig16" => {
+                let mut g = GridSpec::new(name, base3.enable_hostcc());
+                g.bt_gbps = (1..=10).map(|i| 10.0 * i as f64).collect();
+                g
+            }
+            "fig17" => {
+                let mut g = GridSpec::new(name, base3.enable_hostcc());
+                g.it = vec![70.0, 75.0, 80.0, 85.0, 90.0];
+                g
+            }
+            "figure-grid" => {
+                let mut g = GridSpec::new(name, Scenario::paper_baseline());
+                g.ddio = vec![false, true];
+                g.hostcc = vec![false, true];
+                g.degree = vec![0.0, 1.0, 2.0, 3.0];
+                g
+            }
+            "faults" => {
+                let mut g = GridSpec::new(name, base3);
+                g.hostcc = vec![false, true];
+                g.drop_chance = vec![0.0, 1e-5, 1e-4, 1e-3];
+                g
+            }
+            _ => return None,
+        };
+        g.name = name.to_string();
+        Some(g)
+    }
+
+    /// Set one axis from CLI syntax: `set_axis("degree", "0,1,2,3")`.
+    /// Values are comma-separated; booleans accept `on/off/true/false`.
+    pub fn set_axis(&mut self, axis: &str, values: &str) -> Result<(), String> {
+        fn split<T, E: std::fmt::Display>(
+            raw: &str,
+            parse: impl Fn(&str) -> Result<T, E>,
+        ) -> Result<Vec<T>, String> {
+            let out: Vec<T> = raw
+                .split(',')
+                .map(str::trim)
+                .filter(|v| !v.is_empty())
+                .map(|v| parse(v).map_err(|e| format!("bad value '{v}': {e}")))
+                .collect::<Result<_, _>>()?;
+            if out.is_empty() {
+                return Err("expected at least one value".into());
+            }
+            Ok(out)
+        }
+        fn bools(raw: &str) -> Result<Vec<bool>, String> {
+            split(raw, |v| match v {
+                "on" | "true" | "1" => Ok(true),
+                "off" | "false" | "0" => Ok(false),
+                _ => Err("expected on/off"),
+            })
+        }
+        let result = match axis {
+            "ddio" => bools(values).map(|v| self.ddio = v),
+            "hostcc" => bools(values).map(|v| self.hostcc = v),
+            "bt" => split(values, str::parse::<f64>).map(|v| self.bt_gbps = v),
+            "it" => split(values, str::parse::<f64>).map(|v| self.it = v),
+            "level" => split(values, str::parse::<u8>).map(|v| self.mba_level = v),
+            "cc" => split(values, |v| {
+                CcKind::parse(v).ok_or_else(|| {
+                    let all: Vec<_> = CcKind::ALL.iter().map(|k| k.name()).collect();
+                    format!("unknown protocol (known: {})", all.join(", "))
+                })
+            })
+            .map(|v| self.cc = v),
+            "degree" => split(values, str::parse::<f64>).map(|v| self.degree = v),
+            "flows" => split(values, str::parse::<u32>).map(|v| self.flows = v),
+            "incast" => split(values, str::parse::<u32>).map(|v| self.incast = v),
+            "mtu" => split(values, str::parse::<u64>).map(|v| self.mtu = v),
+            "ecn_kb" => split(values, str::parse::<u64>).map(|v| self.ecn_kb = v),
+            "drop" => split(values, str::parse::<f64>).map(|v| self.drop_chance = v),
+            "seed" => split(values, str::parse::<u64>).map(|v| self.seed = v),
+            _ => {
+                return Err(format!(
+                    "unknown axis '{axis}' (known: ddio hostcc bt it level cc degree \
+                     flows incast mtu ecn_kb drop seed)"
+                ))
+            }
+        };
+        result.map_err(|e| format!("axis '{axis}': {e}"))
+    }
+
+    /// Number of cells [`GridSpec::expand`] will produce.
+    pub fn cell_count(&self) -> usize {
+        self.axes().iter().map(|a| a.values.len().max(1)).product()
+    }
+
+    /// The active axes in canonical order, each resolved to labeled
+    /// scenario mutations.
+    fn axes(&self) -> Vec<Axis> {
+        let mut axes: Vec<Axis> = Vec::new();
+        let mut push = |name: &'static str, values: Vec<Setter>| {
+            if !values.is_empty() {
+                axes.push(Axis { name, values });
+            }
+        };
+        push(
+            "ddio",
+            self.ddio
+                .iter()
+                .map(|&b| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        if b {
+                            *s = s.clone().enable_ddio();
+                        } else {
+                            s.host.ddio_enabled = false;
+                        }
+                    });
+                    (on_off(b), f)
+                })
+                .collect(),
+        );
+        push(
+            "hostcc",
+            self.hostcc
+                .iter()
+                .map(|&b| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        if b {
+                            *s = s.clone().enable_hostcc();
+                        } else {
+                            s.hostcc = None;
+                        }
+                    });
+                    (on_off(b), f)
+                })
+                .collect(),
+        );
+        push(
+            "bt",
+            self.bt_gbps
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        if let Some(hc) = &mut s.hostcc {
+                            hc.bt = Rate::gbps(v);
+                        }
+                    });
+                    (fmt_f64(v), f)
+                })
+                .collect(),
+        );
+        push(
+            "it",
+            self.it
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        if let Some(hc) = &mut s.hostcc {
+                            hc.it = v;
+                        }
+                    });
+                    (fmt_f64(v), f)
+                })
+                .collect(),
+        );
+        push(
+            "level",
+            self.mba_level
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> =
+                        Box::new(move |s: &mut Scenario| s.forced_mba_level = Some(v));
+                    (v.to_string(), f)
+                })
+                .collect(),
+        );
+        push(
+            "cc",
+            self.cc
+                .iter()
+                .map(|&k| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| s.cc = k);
+                    (k.name().to_string(), f)
+                })
+                .collect(),
+        );
+        push(
+            "degree",
+            self.degree
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> =
+                        Box::new(move |s: &mut Scenario| s.mapp_degree = v);
+                    (fmt_f64(v), f)
+                })
+                .collect(),
+        );
+        push(
+            "flows",
+            self.flows
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        s.senders = 1;
+                        s.flows_per_sender = vec![v];
+                    });
+                    (v.to_string(), f)
+                })
+                .collect(),
+        );
+        push(
+            "incast",
+            self.incast
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        let spec = IncastSpec {
+                            senders: 2,
+                            total_flows: v,
+                        };
+                        s.senders = 2;
+                        s.flows_per_sender = (0..2).map(|i| spec.flows_for_sender(i)).collect();
+                    });
+                    (v.to_string(), f)
+                })
+                .collect(),
+        );
+        push(
+            "mtu",
+            self.mtu
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| s.mtu = v);
+                    (v.to_string(), f)
+                })
+                .collect(),
+        );
+        push(
+            "ecn_kb",
+            self.ecn_kb
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        s.switch.ecn_threshold_bytes = v * 1024;
+                    });
+                    (v.to_string(), f)
+                })
+                .collect(),
+        );
+        push(
+            "drop",
+            self.drop_chance
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> =
+                        Box::new(move |s: &mut Scenario| s.fault.drop_chance = v);
+                    (fmt_f64(v), f)
+                })
+                .collect(),
+        );
+        push(
+            "seed",
+            self.seed
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> =
+                        Box::new(move |s: &mut Scenario| s.seed = v);
+                    (v.to_string(), f)
+                })
+                .collect(),
+        );
+        axes
+    }
+
+    /// Structural checks that would otherwise surface as panics deep in
+    /// `Scenario::validate` or as silently-inert axes.
+    fn check(&self) -> Result<(), String> {
+        if !self.flows.is_empty() && !self.incast.is_empty() {
+            return Err("the flows and incast axes are mutually exclusive".into());
+        }
+        let hostcc_possible = self.base.hostcc.is_some() && !self.hostcc.contains(&false)
+            || self.hostcc.contains(&true);
+        if !self.mba_level.is_empty() && hostcc_possible {
+            return Err("the level axis (fixed MBA) conflicts with hostCC-enabled cells".into());
+        }
+        let hostcc_everywhere = (self.base.hostcc.is_some() && self.hostcc.is_empty())
+            || (!self.hostcc.is_empty() && self.hostcc.iter().all(|&b| b));
+        if (!self.bt_gbps.is_empty() || !self.it.is_empty()) && !hostcc_everywhere {
+            return Err("the bt/it axes need hostCC enabled in every cell".into());
+        }
+        let cells = self.cell_count();
+        if cells > MAX_CELLS {
+            return Err(format!("grid has {cells} cells (cap {MAX_CELLS})"));
+        }
+        Ok(())
+    }
+
+    /// Expand the cartesian product into runnable cells, row-major with the
+    /// first canonical axis varying slowest. Each cell's seed is derived
+    /// from the (possibly seed-axis-overridden) base seed and the cell key.
+    pub fn expand(&self) -> Result<Vec<Cell>, String> {
+        self.check()?;
+        let axes = self.axes();
+        let total = self.cell_count();
+        let mut cells = Vec::with_capacity(total);
+        let mut odometer = vec![0usize; axes.len()];
+        for index in 0..total {
+            let mut scenario = self.base.clone();
+            let mut params = Vec::with_capacity(axes.len());
+            for (axis, &digit) in axes.iter().zip(&odometer) {
+                let (label, setter) = &axis.values[digit];
+                setter(&mut scenario);
+                params.push((axis.name, label.clone()));
+            }
+            let key = params
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            scenario.seed = derive_cell_seed(scenario.seed, &key);
+            cells.push(Cell {
+                index,
+                key,
+                params,
+                scenario,
+            });
+            // Advance the odometer: last axis spins fastest.
+            for pos in (0..axes.len()).rev() {
+                odometer[pos] += 1;
+                if odometer[pos] < axes[pos].values.len() {
+                    break;
+                }
+                odometer[pos] = 0;
+            }
+        }
+        Ok(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_all_resolve_and_expand() {
+        for &(name, _) in GridSpec::presets() {
+            let spec = GridSpec::preset(name).unwrap_or_else(|| panic!("preset {name}"));
+            let cells = spec.expand().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(cells.len(), spec.cell_count(), "{name}");
+            for c in &cells {
+                c.scenario.validate();
+            }
+        }
+        assert!(GridSpec::preset("nope").is_none());
+    }
+
+    #[test]
+    fn preset_cell_counts_match_paper_grids() {
+        let count = |n: &str| GridSpec::preset(n).unwrap().cell_count();
+        assert_eq!(count("baseline"), 1);
+        assert_eq!(count("fig2"), 8);
+        assert_eq!(count("fig3-mtu"), 6);
+        assert_eq!(count("fig9"), 10);
+        assert_eq!(count("fig13a"), 8);
+        assert_eq!(count("fig16"), 10);
+        assert_eq!(count("figure-grid"), 16);
+    }
+
+    #[test]
+    fn expansion_is_row_major_in_canonical_order() {
+        let cells = GridSpec::preset("fig2").unwrap().expand().unwrap();
+        // ddio is the slow axis, degree the fast one.
+        assert_eq!(cells[0].key, "ddio=off degree=0");
+        assert_eq!(cells[3].key, "ddio=off degree=3");
+        assert_eq!(cells[4].key, "ddio=on degree=0");
+        assert_eq!(cells[7].key, "ddio=on degree=3");
+        assert!(!cells[0].scenario.host.ddio_enabled);
+        assert!(cells[4].scenario.host.ddio_enabled);
+        assert_eq!(cells[3].scenario.mapp_degree, 3.0);
+    }
+
+    #[test]
+    fn hostcc_axis_applies_after_ddio() {
+        let cells = GridSpec::preset("figure-grid").unwrap().expand().unwrap();
+        for c in &cells {
+            let hostcc_on = c.get("hostcc") == Some("on");
+            assert_eq!(c.scenario.hostcc.is_some(), hostcc_on, "{}", c.key);
+            if hostcc_on {
+                // enable_hostcc must have seen the cell's DDIO setting.
+                let expect_it = if c.scenario.host.ddio_enabled {
+                    50.0
+                } else {
+                    70.0
+                };
+                assert_eq!(
+                    c.scenario.hostcc.as_ref().unwrap().it,
+                    expect_it,
+                    "{}",
+                    c.key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct_and_stable() {
+        let spec = GridSpec::preset("figure-grid").unwrap();
+        let cells = spec.expand().unwrap();
+        let mut seeds: Vec<u64> = cells.iter().map(|c| c.scenario.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), cells.len(), "per-cell seeds must be unique");
+
+        // Stability: the seed is a function of (base seed, key) only.
+        for c in &cells {
+            assert_eq!(c.scenario.seed, derive_cell_seed(spec.base.seed, &c.key));
+        }
+
+        // Adding values to an existing axis preserves prior cells' seeds.
+        let mut wider = spec.clone();
+        wider.degree.push(4.0);
+        let wider_cells = wider.expand().unwrap();
+        for c in &cells {
+            let same = wider_cells.iter().find(|w| w.key == c.key).unwrap();
+            assert_eq!(same.scenario.seed, c.scenario.seed);
+        }
+    }
+
+    #[test]
+    fn axis_free_grid_keeps_base_seed() {
+        let cells = GridSpec::preset("baseline").unwrap().expand().unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].key, "");
+        assert_eq!(cells[0].scenario.seed, Scenario::paper_baseline().seed);
+    }
+
+    #[test]
+    fn set_axis_parses_and_rejects() {
+        let mut g = GridSpec::new("cli", Scenario::paper_baseline());
+        g.set_axis("degree", "0, 1.5 ,3").unwrap();
+        assert_eq!(g.degree, vec![0.0, 1.5, 3.0]);
+        g.set_axis("hostcc", "off,on").unwrap();
+        assert_eq!(g.hostcc, vec![false, true]);
+        g.set_axis("cc", "dctcp,swift").unwrap();
+        assert_eq!(g.cc, vec![CcKind::Dctcp, CcKind::Swift]);
+        assert!(g.set_axis("bogus", "1").is_err());
+        assert!(g.set_axis("mtu", "abc").is_err());
+        assert!(g.set_axis("cc", "quic").is_err());
+        // An empty value list must not silently drop the axis.
+        assert!(g.set_axis("degree", "").unwrap_err().contains("degree"));
+        assert!(g.set_axis("hostcc", " , ").is_err());
+        assert_eq!(g.cell_count(), 3 * 2 * 2);
+    }
+
+    #[test]
+    fn structural_conflicts_are_rejected() {
+        let mut g = GridSpec::new("bad", Scenario::paper_baseline());
+        g.flows = vec![4];
+        g.incast = vec![8];
+        assert!(g.expand().is_err());
+
+        let mut g = GridSpec::new("bad", Scenario::paper_baseline());
+        g.hostcc = vec![true];
+        g.mba_level = vec![2];
+        assert!(g.expand().is_err());
+
+        let mut g = GridSpec::new("bad", Scenario::paper_baseline());
+        g.bt_gbps = vec![50.0];
+        assert!(g.expand().is_err(), "bt without hostCC");
+
+        let mut g = GridSpec::new("big", Scenario::paper_baseline());
+        g.seed = (0..70_000).collect();
+        assert!(g.expand().is_err(), "cell cap");
+    }
+
+    #[test]
+    fn fault_and_ecn_axes_reach_the_scenario() {
+        let mut g = GridSpec::new("f", Scenario::paper_baseline());
+        g.drop_chance = vec![0.0, 1e-4];
+        g.ecn_kb = vec![40, 80];
+        let cells = g.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        // ecn_kb is the slow axis (canonical order), drop the fast one.
+        assert_eq!(cells[1].scenario.fault.drop_chance, 1e-4);
+        assert_eq!(cells[2].scenario.switch.ecn_threshold_bytes, 80 * 1024);
+        assert_eq!(cells[2].key, "ecn_kb=80 drop=0");
+    }
+}

@@ -5,8 +5,14 @@
 //! * [`Simulation`] — the assembled event loop.
 //! * [`RunResult`] — everything a figure needs: throughput, drop rates,
 //!   memory split, latency histograms, signal CDFs, time series.
+//! * [`grid`] — declarative experiment grids: a base scenario plus axes
+//!   to sweep, expanded into cells with derived per-cell RNG seeds.
+//! * [`sweep`] — the parallel, deterministic sweep engine: runs grid
+//!   cells across a work-stealing worker pool with bit-identical results
+//!   at any worker count, aggregated into a JSON/CSV manifest.
 //! * [`figures`] — `fig2()` … `fig19()`, each returning printable tables
-//!   that mirror the paper's panels.
+//!   that mirror the paper's panels (the throughput figures run on the
+//!   sweep engine).
 //!
 //! ```
 //! use hostcc_experiments::{Scenario, Simulation};
@@ -20,14 +26,33 @@
 //! assert!(result.goodput_gbps() > 50.0);
 //! assert_eq!(result.nic_drops, 0);
 //! ```
+//!
+//! The same comparison as a 2-cell sweep (scales to the full §5 grids):
+//!
+//! ```
+//! use hostcc_experiments::grid::GridSpec;
+//! use hostcc_experiments::sweep::{run_sweep, SweepOptions};
+//! use hostcc_experiments::Scenario;
+//! use hostcc_sim::Nanos;
+//!
+//! let mut spec = GridSpec::new("demo", Scenario::with_congestion(3.0));
+//! spec.base.warmup = Nanos::from_millis(1);
+//! spec.base.measure = Nanos::from_millis(2);
+//! spec.hostcc = vec![false, true];
+//! let manifest = run_sweep(&spec, &SweepOptions::default()).unwrap();
+//! let [vanilla, hostcc] = &manifest.cells[..] else { unreachable!() };
+//! assert!(hostcc.metrics.goodput_gbps > vanilla.metrics.goodput_gbps);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod grid;
 mod result;
 mod scenario;
 mod sim;
+pub mod sweep;
 
 pub use result::{Recording, RpcResult, RunResult};
 pub use scenario::{CcKind, Scenario};

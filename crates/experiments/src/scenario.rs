@@ -18,8 +18,35 @@ pub enum CcKind {
     Cubic,
     /// Swift-style delay-based CC (paper §6 extension).
     Swift,
-    /// TIMELY-style RTT-gradient CC (paper reference [31]).
+    /// TIMELY-style RTT-gradient CC (paper reference \[31\]).
     Timely,
+}
+
+impl CcKind {
+    /// Every protocol, in the order used by grid axes and CLI listings.
+    pub const ALL: [CcKind; 5] = [
+        CcKind::Dctcp,
+        CcKind::Reno,
+        CcKind::Cubic,
+        CcKind::Swift,
+        CcKind::Timely,
+    ];
+
+    /// Stable lower-case name (grid keys, CLI, manifests).
+    pub fn name(self) -> &'static str {
+        match self {
+            CcKind::Dctcp => "dctcp",
+            CcKind::Reno => "reno",
+            CcKind::Cubic => "cubic",
+            CcKind::Swift => "swift",
+            CcKind::Timely => "timely",
+        }
+    }
+
+    /// Parse a protocol name as printed by [`CcKind::name`].
+    pub fn parse(s: &str) -> Option<CcKind> {
+        CcKind::ALL.into_iter().find(|k| k.name() == s)
+    }
 }
 
 /// A complete experiment scenario.
@@ -61,6 +88,11 @@ pub struct Scenario {
     pub hostcc: Option<HostCcConfig>,
     /// Congestion control protocol.
     pub cc: CcKind,
+    /// Pin the receiver's MBA to a fixed response level for the whole run
+    /// (the Fig 9 actuator-efficacy sweep). Only meaningful without hostCC,
+    /// which would otherwise steer the level away — `validate` rejects the
+    /// combination.
+    pub forced_mba_level: Option<u8>,
     /// Switch egress port toward the receiver.
     pub switch: SwitchPortConfig,
     /// One-way per-link propagation (incl. per-hop stack overheads).
@@ -101,6 +133,7 @@ impl Scenario {
             host: HostConfig::paper_default(),
             hostcc: None,
             cc: CcKind::Dctcp,
+            forced_mba_level: None,
             switch: SwitchPortConfig::paper_default(),
             link_prop: Nanos::from_micros(8),
             rx_stack_delay: Nanos::from_nanos(1500),
@@ -198,6 +231,10 @@ impl Scenario {
         assert!(self.mtu > u64::from(hostcc_fabric::HEADER_BYTES) + 64);
         assert!(self.measure > Nanos::ZERO);
         assert!(self.rpc_clients >= 1);
+        assert!(
+            self.forced_mba_level.is_none() || self.hostcc.is_none(),
+            "a forced MBA level conflicts with an active hostCC controller"
+        );
         self.host.validate();
     }
 

@@ -213,6 +213,10 @@ impl Simulation {
             )
         });
 
+        if let Some(level) = cfg.forced_mba_level {
+            rx.mba_mut().force_level(level);
+        }
+
         let n_flows = flows.len();
         let mut jitter_rng = rng.fork(11);
         let ack_delay_of_flow = (0..n_flows)

@@ -1,0 +1,837 @@
+//! Parallel, deterministic execution of experiment grids.
+//!
+//! Takes the [`Cell`]s of an expanded [`GridSpec`] and runs each one as an
+//! independent simulation across an owned pool of worker threads with a
+//! work-stealing queue. Determinism is structural, not scheduled: a cell's
+//! RNG seed is derived from its parameter key (see
+//! [`crate::grid::derive_cell_seed`]), every simulation is built *inside*
+//! the worker that runs it, and nothing flows between cells — so per-cell
+//! results are bit-identical no matter how many workers run the sweep or
+//! which worker picks up which cell. Tests assert `--workers 1` equals
+//! `--workers N` field for field.
+//!
+//! Each worker gives its simulation a counting-only tracer
+//! ([`hostcc_trace::Tracer::counting`]) and a sim-rate profiler; at join
+//! time the per-cell [`TraceCounts`] and signal read-latency CDFs are
+//! merged (both merges are commutative) into a [`SweepManifest`] that also
+//! carries the wall-clock totals and the parallel speedup. Only the
+//! wall-clock numbers and worker assignments vary run to run; they are
+//! excluded from the CSV export and the fingerprints.
+//!
+//! ```
+//! use hostcc_experiments::grid::GridSpec;
+//! use hostcc_experiments::sweep::{run_sweep, SweepOptions};
+//! use hostcc_sim::Nanos;
+//!
+//! let mut spec = GridSpec::preset("fig2").unwrap();
+//! spec.base.warmup = Nanos::from_micros(300);
+//! spec.base.measure = Nanos::from_millis(1);
+//! let manifest = run_sweep(&spec, &SweepOptions::default()).unwrap();
+//! assert_eq!(manifest.cells.len(), 8);
+//! println!("{}", manifest.summary_table().render());
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use hostcc_metrics::{f2, pct, Cdf, Table};
+use hostcc_trace::{SimRateProfiler, TraceCounts, TraceFilter, TraceHandle, Tracer};
+
+use crate::grid::{Cell, GridSpec};
+use crate::{RunResult, Simulation};
+
+/// How a sweep is executed (never *what* it computes — per-cell results
+/// are identical for every option combination except `trace`, which adds
+/// the deterministic trace counts).
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; 0 means one per available CPU. Capped at the cell
+    /// count.
+    pub workers: usize,
+    /// Give every cell a counting-only tracer and report per-kind event
+    /// totals.
+    pub trace: bool,
+    /// Which event kinds the counting tracer records.
+    pub trace_filter: TraceFilter,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: 0,
+            trace: true,
+            trace_filter: TraceFilter::all(),
+        }
+    }
+}
+
+/// Per-size RPC latency summary of one cell (flattened from the run's
+/// histograms; sizes ascending).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcSummary {
+    /// RPC payload size in bytes.
+    pub size: u64,
+    /// Completed RPCs of this size.
+    pub count: u64,
+    /// {P50, P90, P99, P99.9, P99.99} latency in nanoseconds (zeros if
+    /// nothing completed).
+    pub whiskers_ns: [u64; 5],
+}
+
+/// The deterministic measurements of one cell — every field is a pure
+/// function of the cell's scenario (seed included), so serial and parallel
+/// sweeps produce equal values. Wall-clock data lives on [`CellRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Greedy-flow goodput in Gbps.
+    pub goodput_gbps: f64,
+    /// All-flow goodput (incl. RPC bytes) in Gbps.
+    pub goodput_all_gbps: f64,
+    /// Packet drop percentage.
+    pub drop_rate_pct: f64,
+    /// Drops at the receiver NIC.
+    pub nic_drops: u64,
+    /// Drops at the switch egress.
+    pub switch_drops: u64,
+    /// Data packets transmitted (incl. retransmissions).
+    pub data_packets: u64,
+    /// Peak NIC buffer occupancy in bytes.
+    pub nic_peak_bytes: u64,
+    /// Network-attributed memory-bandwidth utilisation.
+    pub net_mem_util: f64,
+    /// MApp memory-bandwidth utilisation.
+    pub mapp_mem_util: f64,
+    /// MApp application-level throughput in Gbps.
+    pub mapp_app_gbps: f64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+    /// RTO events.
+    pub timeouts: u64,
+    /// TLP probes.
+    pub tlp_probes: u64,
+    /// Packets CE-marked by hostCC's receiver echo.
+    pub host_marks: u64,
+    /// Packets CE-marked by the switch.
+    pub fabric_marks: u64,
+    /// Mean smoothed IIO occupancy `I_S`.
+    pub mean_is: f64,
+    /// Mean PCIe bandwidth in Gbps.
+    pub mean_bs_gbps: f64,
+    /// Mean effective MBA level.
+    pub mean_level: f64,
+    /// MBA MSR writes issued.
+    pub mba_writes: u64,
+    /// Per-size RPC latency summaries (empty without an RPC workload).
+    pub rpc: Vec<RpcSummary>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(h: &mut u64, word: u64) {
+    for b in word.to_le_bytes() {
+        *h = (*h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl CellMetrics {
+    /// Flatten a [`RunResult`] to its deterministic scalars.
+    pub fn from_result(r: &RunResult) -> Self {
+        let mut sizes: Vec<u64> = r.rpc.keys().copied().collect();
+        sizes.sort_unstable();
+        let rpc = sizes
+            .into_iter()
+            .map(|size| RpcSummary {
+                size,
+                count: r.rpc[&size].count,
+                whiskers_ns: r
+                    .rpc_whiskers(size)
+                    .map(|w| w.map(|n| n.as_nanos()))
+                    .unwrap_or([0; 5]),
+            })
+            .collect();
+        CellMetrics {
+            goodput_gbps: r.goodput.as_gbps(),
+            goodput_all_gbps: r.goodput_all.as_gbps(),
+            drop_rate_pct: r.drop_rate_pct,
+            nic_drops: r.nic_drops,
+            switch_drops: r.switch_drops,
+            data_packets: r.data_packets,
+            nic_peak_bytes: r.nic_peak_bytes,
+            net_mem_util: r.net_mem_util,
+            mapp_mem_util: r.mapp_mem_util,
+            mapp_app_gbps: r.mapp_app_gbps,
+            retransmits: r.retransmits,
+            timeouts: r.timeouts,
+            tlp_probes: r.tlp_probes,
+            host_marks: r.host_marks,
+            fabric_marks: r.fabric_marks,
+            mean_is: r.mean_is,
+            mean_bs_gbps: r.mean_bs.as_gbps(),
+            mean_level: r.mean_level,
+            mba_writes: r.mba_writes,
+            rpc,
+        }
+    }
+
+    /// FNV-1a hash over every field (f64s via their bit patterns) — equal
+    /// metrics hash equal, so serial/parallel identity can be asserted on
+    /// one number per cell.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for v in [
+            self.goodput_gbps,
+            self.goodput_all_gbps,
+            self.drop_rate_pct,
+            self.net_mem_util,
+            self.mapp_mem_util,
+            self.mapp_app_gbps,
+            self.mean_is,
+            self.mean_bs_gbps,
+            self.mean_level,
+        ] {
+            fnv1a(&mut h, v.to_bits());
+        }
+        for v in [
+            self.nic_drops,
+            self.switch_drops,
+            self.data_packets,
+            self.nic_peak_bytes,
+            self.retransmits,
+            self.timeouts,
+            self.tlp_probes,
+            self.host_marks,
+            self.fabric_marks,
+            self.mba_writes,
+        ] {
+            fnv1a(&mut h, v);
+        }
+        for r in &self.rpc {
+            fnv1a(&mut h, r.size);
+            fnv1a(&mut h, r.count);
+            for w in r.whiskers_ns {
+                fnv1a(&mut h, w);
+            }
+        }
+        h
+    }
+}
+
+/// One executed cell: the deterministic measurements plus the (run-varying)
+/// execution record — which worker ran it and how long it took.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// Position in the grid's expansion order.
+    pub index: usize,
+    /// The cell's canonical parameter key.
+    pub key: String,
+    /// The individual `(axis, value)` pairs.
+    pub params: Vec<(&'static str, String)>,
+    /// The derived per-cell RNG seed that was run.
+    pub seed: u64,
+    /// Deterministic measurements.
+    pub metrics: CellMetrics,
+    /// Deterministic per-kind trace-event totals (zeros when tracing was
+    /// off).
+    pub trace: TraceCounts,
+    /// Simulation events processed (deterministic).
+    pub events: u64,
+    /// Simulated nanoseconds covered (deterministic).
+    pub sim_ns: u64,
+    /// Wall-clock seconds this cell took (varies run to run).
+    pub wall_secs: f64,
+    /// Worker thread that ran the cell (varies run to run).
+    pub worker: usize,
+}
+
+impl CellRun {
+    /// The value this cell has on `axis`, if that axis is part of the grid.
+    pub fn get(&self, axis: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(n, _)| *n == axis)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What one worker hands back at join time.
+struct WorkerOut {
+    runs: Vec<CellRun>,
+    read_is: Cdf,
+    read_bs: Cdf,
+}
+
+fn resolve_workers(requested: usize, jobs: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    n.clamp(1, jobs.max(1))
+}
+
+fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(i) = queues[me].lock().unwrap().pop_front() {
+        return Some(i);
+    }
+    // Steal from the back of the other workers' queues.
+    let n = queues.len();
+    for d in 1..n {
+        if let Some(i) = queues[(me + d) % n].lock().unwrap().pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn run_one(cell: &Cell, opts: &SweepOptions, worker: usize) -> (CellRun, Cdf, Cdf) {
+    let mut sim = Simulation::new(cell.scenario.clone());
+    if opts.trace {
+        sim.set_trace(TraceHandle::new(Tracer::counting(opts.trace_filter)));
+    }
+    let profiler = SimRateProfiler::start(sim.events_processed(), sim.now());
+    let result = sim.run();
+    let report = profiler.finish(sim.events_processed(), sim.now());
+    let run = CellRun {
+        index: cell.index,
+        key: cell.key.clone(),
+        params: cell.params.clone(),
+        seed: cell.scenario.seed,
+        metrics: CellMetrics::from_result(&result),
+        trace: result.trace.unwrap_or_default(),
+        events: report.events,
+        sim_ns: report.sim_ns,
+        wall_secs: report.wall_secs,
+        worker,
+    };
+    (run, result.read_is_cdf, result.read_bs_cdf)
+}
+
+/// Run `cells` across `workers` threads; returns `(runs sorted by cell
+/// index, merged R_OCC read-latency CDF, merged R_INS read-latency CDF)`.
+fn run_cells_full(cells: &[Cell], opts: &SweepOptions, workers: usize) -> (Vec<CellRun>, Cdf, Cdf) {
+    // Round-robin initial distribution; idle workers steal from the back.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..cells.len()).step_by(workers).collect()))
+        .collect();
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let queues = &queues;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = WorkerOut {
+                        runs: Vec::new(),
+                        read_is: Cdf::new(),
+                        read_bs: Cdf::new(),
+                    };
+                    while let Some(i) = next_job(queues, w) {
+                        let (run, is, bs) = run_one(&cells[i], opts, w);
+                        out.runs.push(run);
+                        out.read_is.merge(&is);
+                        out.read_bs.merge(&bs);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut runs = Vec::with_capacity(cells.len());
+    let mut read_is = Cdf::new();
+    let mut read_bs = Cdf::new();
+    for out in outs {
+        runs.extend(out.runs);
+        read_is.merge(&out.read_is);
+        read_bs.merge(&out.read_bs);
+    }
+    runs.sort_by_key(|r| r.index);
+    (runs, read_is, read_bs)
+}
+
+/// Execute expanded cells and return the per-cell runs in grid order.
+///
+/// This is the raw engine entry point; [`run_sweep`] wraps it with
+/// aggregation into a [`SweepManifest`]. Everything but `wall_secs` and
+/// `worker` on the returned runs is bit-identical for any worker count.
+pub fn run_cells(cells: &[Cell], opts: &SweepOptions) -> Vec<CellRun> {
+    let workers = resolve_workers(opts.workers, cells.len());
+    run_cells_full(cells, opts, workers).0
+}
+
+/// Expand a grid and run it, aggregating everything into a manifest.
+pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, String> {
+    let cells = spec.expand()?;
+    let workers = resolve_workers(opts.workers, cells.len());
+    let start = Instant::now();
+    let (runs, mut read_is, mut read_bs) = run_cells_full(&cells, opts, workers);
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut trace_totals = TraceCounts::default();
+    let mut cell_wall_secs = 0.0;
+    let mut events = 0u64;
+    let mut sim_ns = 0u64;
+    let mut fingerprint = FNV_OFFSET;
+    for r in &runs {
+        trace_totals.merge(&r.trace);
+        cell_wall_secs += r.wall_secs;
+        events += r.events;
+        sim_ns += r.sim_ns;
+        fnv1a(&mut fingerprint, r.index as u64);
+        fnv1a(&mut fingerprint, r.seed);
+        fnv1a(&mut fingerprint, r.metrics.fingerprint());
+    }
+    let q = |cdf: &mut Cdf, q: f64| cdf.quantile(q).map(|n| n.as_nanos());
+    Ok(SweepManifest {
+        name: spec.name.clone(),
+        workers,
+        read_is_p50_ns: q(&mut read_is, 0.50),
+        read_is_p99_ns: q(&mut read_is, 0.99),
+        read_bs_p50_ns: q(&mut read_bs, 0.50),
+        read_bs_p99_ns: q(&mut read_bs, 0.99),
+        cells: runs,
+        trace_totals,
+        wall_secs,
+        cell_wall_secs,
+        events,
+        sim_ns,
+        fingerprint,
+    })
+}
+
+/// Aggregated outcome of one sweep: every cell's run plus sweep-wide
+/// totals. Exported as JSON ([`SweepManifest::to_json`]) and CSV
+/// ([`SweepManifest::to_csv`]); the CSV carries only deterministic columns
+/// so serial and parallel exports are byte-identical.
+#[derive(Debug, Clone)]
+pub struct SweepManifest {
+    /// Grid name.
+    pub name: String,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Per-cell runs, in grid expansion order.
+    pub cells: Vec<CellRun>,
+    /// Trace-event totals summed over all cells (zeros if tracing off).
+    pub trace_totals: TraceCounts,
+    /// Whole-sweep elapsed wall-clock seconds.
+    pub wall_secs: f64,
+    /// Sum of per-cell wall-clock seconds (the serial-equivalent cost).
+    pub cell_wall_secs: f64,
+    /// Simulation events processed across all cells (deterministic).
+    pub events: u64,
+    /// Simulated nanoseconds covered across all cells (deterministic).
+    pub sim_ns: u64,
+    /// Median `R_OCC` signal read latency in ns (None if unsampled).
+    pub read_is_p50_ns: Option<u64>,
+    /// P99 `R_OCC` signal read latency in ns.
+    pub read_is_p99_ns: Option<u64>,
+    /// Median `R_INS` signal read latency in ns.
+    pub read_bs_p50_ns: Option<u64>,
+    /// P99 `R_INS` signal read latency in ns.
+    pub read_bs_p99_ns: Option<u64>,
+    /// FNV-1a over `(index, seed, metrics fingerprint)` of every cell —
+    /// one number that pins the whole sweep's deterministic output.
+    pub fingerprint: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+impl SweepManifest {
+    /// Parallel speedup: serial-equivalent cost over elapsed wall time.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.cell_wall_secs / self.wall_secs
+        }
+    }
+
+    /// Sweep-wide simulation rate in events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / self.wall_secs
+        }
+    }
+
+    /// The manifest as a JSON document (hand-rolled: the repo carries no
+    /// serialization dependency). Wall-clock fields are included here —
+    /// diff the CSV, not the JSON, when checking determinism.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096 + self.cells.len() * 512);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"name\": \"{}\",\n", json_escape(&self.name)));
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str(&format!("  \"cell_count\": {},\n", self.cells.len()));
+        s.push_str(&format!("  \"wall_secs\": {},\n", json_f64(self.wall_secs)));
+        s.push_str(&format!(
+            "  \"cell_wall_secs\": {},\n",
+            json_f64(self.cell_wall_secs)
+        ));
+        s.push_str(&format!("  \"speedup\": {},\n", json_f64(self.speedup())));
+        s.push_str(&format!("  \"events\": {},\n", self.events));
+        s.push_str(&format!(
+            "  \"events_per_sec\": {},\n",
+            json_f64(self.events_per_sec())
+        ));
+        s.push_str(&format!("  \"sim_ns\": {},\n", self.sim_ns));
+        s.push_str(&format!(
+            "  \"fingerprint\": \"{:#018x}\",\n",
+            self.fingerprint
+        ));
+        s.push_str(&format!(
+            "  \"read_latency_ns\": {{\"is_p50\": {}, \"is_p99\": {}, \"bs_p50\": {}, \"bs_p99\": {}}},\n",
+            json_opt(self.read_is_p50_ns),
+            json_opt(self.read_is_p99_ns),
+            json_opt(self.read_bs_p50_ns),
+            json_opt(self.read_bs_p99_ns),
+        ));
+        s.push_str("  \"trace_totals\": {");
+        let mut first = true;
+        for (kind, count) in self.trace_totals.iter() {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{}\": {}", kind.name(), count));
+        }
+        s.push_str("},\n");
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"index\": {}, ", c.index));
+            s.push_str(&format!("\"key\": \"{}\", ", json_escape(&c.key)));
+            s.push_str("\"params\": {");
+            for (j, (name, value)) in c.params.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{name}\": \"{}\"", json_escape(value)));
+            }
+            s.push_str("}, ");
+            s.push_str(&format!("\"seed\": {}, ", c.seed));
+            s.push_str(&format!("\"worker\": {}, ", c.worker));
+            s.push_str(&format!("\"wall_secs\": {}, ", json_f64(c.wall_secs)));
+            s.push_str(&format!("\"events\": {}, ", c.events));
+            s.push_str(&format!("\"sim_ns\": {}, ", c.sim_ns));
+            s.push_str(&format!("\"trace_total\": {}, ", c.trace.total()));
+            s.push_str(&format!(
+                "\"fingerprint\": \"{:#018x}\", ",
+                c.metrics.fingerprint()
+            ));
+            let m = &c.metrics;
+            s.push_str("\"metrics\": {");
+            let fields: [(&str, String); 19] = [
+                ("goodput_gbps", json_f64(m.goodput_gbps)),
+                ("goodput_all_gbps", json_f64(m.goodput_all_gbps)),
+                ("drop_rate_pct", json_f64(m.drop_rate_pct)),
+                ("nic_drops", m.nic_drops.to_string()),
+                ("switch_drops", m.switch_drops.to_string()),
+                ("data_packets", m.data_packets.to_string()),
+                ("nic_peak_bytes", m.nic_peak_bytes.to_string()),
+                ("net_mem_util", json_f64(m.net_mem_util)),
+                ("mapp_mem_util", json_f64(m.mapp_mem_util)),
+                ("mapp_app_gbps", json_f64(m.mapp_app_gbps)),
+                ("retransmits", m.retransmits.to_string()),
+                ("timeouts", m.timeouts.to_string()),
+                ("tlp_probes", m.tlp_probes.to_string()),
+                ("host_marks", m.host_marks.to_string()),
+                ("fabric_marks", m.fabric_marks.to_string()),
+                ("mean_is", json_f64(m.mean_is)),
+                ("mean_bs_gbps", json_f64(m.mean_bs_gbps)),
+                ("mean_level", json_f64(m.mean_level)),
+                ("mba_writes", m.mba_writes.to_string()),
+            ];
+            for (j, (name, value)) in fields.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{name}\": {value}"));
+            }
+            s.push_str("}, ");
+            s.push_str("\"rpc\": [");
+            for (j, r) in m.rpc.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"size\": {}, \"count\": {}, \"whiskers_ns\": [{}, {}, {}, {}, {}]}}",
+                    r.size,
+                    r.count,
+                    r.whiskers_ns[0],
+                    r.whiskers_ns[1],
+                    r.whiskers_ns[2],
+                    r.whiskers_ns[3],
+                    r.whiskers_ns[4],
+                ));
+            }
+            s.push_str("]}");
+            if i + 1 < self.cells.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Per-cell results as CSV: one parameter column per grid axis, then
+    /// the metrics. Only deterministic columns — `diff` of a serial and a
+    /// parallel export of the same grid is empty.
+    pub fn to_csv(&self) -> String {
+        let axes: Vec<&'static str> = self
+            .cells
+            .first()
+            .map(|c| c.params.iter().map(|(n, _)| *n).collect())
+            .unwrap_or_default();
+        let mut s = String::new();
+        s.push_str("index,seed");
+        for a in &axes {
+            s.push_str(&format!(",{a}"));
+        }
+        s.push_str(
+            ",goodput_gbps,goodput_all_gbps,drop_rate_pct,nic_drops,switch_drops,\
+             data_packets,nic_peak_bytes,net_mem_util,mapp_mem_util,mapp_app_gbps,\
+             retransmits,timeouts,tlp_probes,host_marks,fabric_marks,mean_is,\
+             mean_bs_gbps,mean_level,mba_writes,trace_total,events,sim_ns,fingerprint\n",
+        );
+        for c in &self.cells {
+            let m = &c.metrics;
+            s.push_str(&format!("{},{}", c.index, c.seed));
+            for (_, value) in &c.params {
+                s.push_str(&format!(",{value}"));
+            }
+            s.push_str(&format!(
+                ",{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:#018x}\n",
+                json_f64(m.goodput_gbps),
+                json_f64(m.goodput_all_gbps),
+                json_f64(m.drop_rate_pct),
+                m.nic_drops,
+                m.switch_drops,
+                m.data_packets,
+                m.nic_peak_bytes,
+                json_f64(m.net_mem_util),
+                json_f64(m.mapp_mem_util),
+                json_f64(m.mapp_app_gbps),
+                m.retransmits,
+                m.timeouts,
+                m.tlp_probes,
+                m.host_marks,
+                m.fabric_marks,
+                json_f64(m.mean_is),
+                json_f64(m.mean_bs_gbps),
+                json_f64(m.mean_level),
+                m.mba_writes,
+                c.trace.total(),
+                c.events,
+                c.sim_ns,
+                m.fingerprint(),
+            ));
+        }
+        s
+    }
+
+    /// A compact per-cell table for terminal output.
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new([
+            "cell", "goodput", "drop%", "mean I_S", "level", "retx", "events",
+        ]);
+        for c in &self.cells {
+            let label = if c.key.is_empty() { "(base)" } else { &c.key };
+            t.row([
+                label.to_string(),
+                f2(c.metrics.goodput_gbps),
+                pct(c.metrics.drop_rate_pct),
+                f2(c.metrics.mean_is),
+                f2(c.metrics.mean_level),
+                c.metrics.retransmits.to_string(),
+                c.events.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// One-line execution summary (wall clock, speedup, sim rate).
+    pub fn render_stats(&self) -> String {
+        format!(
+            "{}: {} cells on {} workers in {:.2} s wall ({:.2} s serial-equivalent, {:.2}x speedup, {:.0} ev/s)",
+            self.name,
+            self.cells.len(),
+            self.workers,
+            self.wall_secs,
+            self.cell_wall_secs,
+            self.speedup(),
+            self.events_per_sec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+    use hostcc_sim::Nanos;
+
+    fn tiny(mut s: Scenario) -> Scenario {
+        s.warmup = Nanos::from_micros(200);
+        s.measure = Nanos::from_micros(600);
+        s
+    }
+
+    fn tiny_grid() -> GridSpec {
+        let mut g = GridSpec::new("tiny", tiny(Scenario::paper_baseline()));
+        g.hostcc = vec![false, true];
+        g.degree = vec![0.0, 3.0];
+        g
+    }
+
+    #[test]
+    fn serial_and_parallel_runs_are_bit_identical() {
+        let cells = tiny_grid().expand().unwrap();
+        let serial = run_cells(
+            &cells,
+            &SweepOptions {
+                workers: 1,
+                ..SweepOptions::default()
+            },
+        );
+        let parallel = run_cells(
+            &cells,
+            &SweepOptions {
+                workers: 4,
+                ..SweepOptions::default()
+            },
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.metrics, b.metrics, "cell {}", a.key);
+            assert_eq!(a.trace, b.trace, "cell {}", a.key);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.sim_ns, b.sim_ns);
+            assert_eq!(a.metrics.fingerprint(), b.metrics.fingerprint());
+        }
+    }
+
+    #[test]
+    fn manifest_aggregates_and_exports() {
+        let spec = tiny_grid();
+        let m = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers: 2,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.cells.len(), 4);
+        assert_eq!(m.workers, 2);
+        assert!(m.events > 0);
+        assert_eq!(m.sim_ns, m.cells.iter().map(|c| c.sim_ns).sum::<u64>());
+        assert!(m.trace_totals.total() > 0, "counting tracer was on");
+        assert!(m.read_is_p50_ns.is_some());
+        assert!(m.wall_secs > 0.0 && m.cell_wall_secs > 0.0);
+
+        let json = m.to_json();
+        assert!(json.contains("\"name\": \"tiny\""));
+        assert!(json.contains("\"cell_count\": 4"));
+        assert!(json.ends_with("}\n"));
+
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5, "header + one row per cell");
+        assert!(lines[0].starts_with("index,seed,hostcc,degree,goodput_gbps"));
+
+        assert_eq!(m.summary_table().len(), 4);
+        assert!(m.render_stats().contains("4 cells on 2 workers"));
+    }
+
+    #[test]
+    fn csv_is_identical_across_worker_counts() {
+        let spec = tiny_grid();
+        let serial = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers: 1,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        let parallel = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers: 3,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.fingerprint, parallel.fingerprint);
+    }
+
+    #[test]
+    fn tracing_off_leaves_counts_empty_and_metrics_unchanged() {
+        let cells = tiny_grid().expand().unwrap();
+        let with = run_cells(
+            &cells,
+            &SweepOptions {
+                workers: 2,
+                ..SweepOptions::default()
+            },
+        );
+        let without = run_cells(
+            &cells,
+            &SweepOptions {
+                workers: 2,
+                trace: false,
+                ..SweepOptions::default()
+            },
+        );
+        for (a, b) in with.iter().zip(&without) {
+            assert_eq!(a.metrics, b.metrics, "tracing must not perturb results");
+            assert_eq!(b.trace.total(), 0);
+        }
+        assert!(with.iter().any(|r| r.trace.total() > 0));
+    }
+
+    #[test]
+    fn worker_resolution() {
+        assert_eq!(resolve_workers(1, 10), 1);
+        assert_eq!(resolve_workers(8, 3), 3, "capped at job count");
+        assert_eq!(resolve_workers(8, 0), 1, "empty grids still get a worker");
+        assert!(resolve_workers(0, 100) >= 1, "auto detects at least one");
+    }
+}

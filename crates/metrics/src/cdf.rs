@@ -37,6 +37,15 @@ impl Cdf {
         }
     }
 
+    /// Merge another CDF's samples into this one. The combined distribution
+    /// is exactly the one a single CDF would have collected, regardless of
+    /// merge order — this is how a parallel experiment sweep aggregates
+    /// per-cell read-latency samples into one sweep-wide distribution.
+    pub fn merge(&mut self, other: &Cdf) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Exact quantile (nearest-rank). None when empty.
     pub fn quantile(&mut self, q: f64) -> Option<Nanos> {
         if self.samples.is_empty() {
@@ -132,6 +141,29 @@ mod tests {
         // Zero-point curves are empty even with samples present.
         c.record(Nanos::from_nanos(7));
         assert!(c.curve(0).is_empty());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let (mut a, mut b) = (Cdf::new(), Cdf::new());
+        for v in [30u64, 10] {
+            a.record(Nanos::from_nanos(v));
+        }
+        for v in [20u64, 40] {
+            b.record(Nanos::from_nanos(v));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count(), 4);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(ab.quantile(q), ba.quantile(q));
+        }
+        assert_eq!(ab.quantile(1.0), Some(Nanos::from_nanos(40)));
+        // Merging an empty CDF is a no-op.
+        ab.merge(&Cdf::new());
+        assert_eq!(ab.count(), 4);
     }
 
     #[test]

@@ -47,6 +47,13 @@ impl Counter {
         self.window = 0;
     }
 
+    /// Fold another counter into this one (window and lifetime both add) —
+    /// aggregation across the independent cells of an experiment sweep.
+    pub fn merge(&mut self, other: &Counter) {
+        self.window += other.window;
+        self.lifetime += other.lifetime;
+    }
+
     /// `self / denominator` as a fraction; 0 when the denominator is empty.
     pub fn ratio_of(&self, denominator: &Counter) -> f64 {
         if denominator.window == 0 {
@@ -86,6 +93,19 @@ mod tests {
         total.add(1000);
         assert!((drops.ratio_of(&total) - 0.003).abs() < 1e-12);
         assert!((drops.percent_of(&total) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_window_and_lifetime() {
+        let mut a = Counter::new();
+        a.add(5);
+        a.reset();
+        a.add(2); // window 2, lifetime 7
+        let mut b = Counter::new();
+        b.add(3);
+        a.merge(&b);
+        assert_eq!(a.get(), 5);
+        assert_eq!(a.lifetime(), 10);
     }
 
     #[test]

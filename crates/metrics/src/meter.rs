@@ -40,6 +40,14 @@ impl Meter {
         self.lifetime_bytes
     }
 
+    /// Fold another meter's byte totals into this one (the window start is
+    /// kept — merging is for aggregating parallel sub-meters that share a
+    /// measurement window, e.g. per-worker accounting in a sweep).
+    pub fn merge(&mut self, other: &Meter) {
+        self.bytes += other.bytes;
+        self.lifetime_bytes += other.lifetime_bytes;
+    }
+
     /// Start a fresh measurement window at `now`, discarding window bytes.
     pub fn reset_at(&mut self, now: Nanos) {
         self.bytes = 0;
@@ -86,6 +94,18 @@ mod tests {
         let r = m.rate_at(Nanos::from_millis(2));
         assert!((r.as_gbps() - 100.0).abs() < 1e-9);
         assert_eq!(m.lifetime_bytes(), 13_500_000);
+    }
+
+    #[test]
+    fn merge_adds_bytes() {
+        let mut a = Meter::new();
+        a.add(6_250);
+        let mut b = Meter::new();
+        b.add(6_250);
+        a.merge(&b);
+        // 12.5 KB over 1 us = 100 Gbps, same as a single meter would see.
+        assert!((a.rate_at(Nanos::from_micros(1)).as_gbps() - 100.0).abs() < 1e-9);
+        assert_eq!(a.lifetime_bytes(), 12_500);
     }
 
     #[test]

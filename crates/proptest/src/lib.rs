@@ -6,7 +6,7 @@
 //! its API the tests actually use, with the same call-site syntax:
 //!
 //! * [`proptest!`] blocks of `#[test] fn name(arg in strategy, ...) { ... }`
-//! * integer and float [`Range`](core::ops::Range) strategies (`0u64..100`)
+//! * integer and float [`Range`] strategies (`0u64..100`)
 //! * [`any`]`::<T>()` for the primitive types
 //! * `prop::collection::vec(strategy, len_range)`
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`]

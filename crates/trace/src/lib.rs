@@ -12,6 +12,9 @@
 //!   congestion-window updates, and NIC backlog samples.
 //! * [`Tracer`] — a bounded ring buffer of [`TraceRecord`]s plus
 //!   deterministic per-kind [`TraceCounts`], behind a [`TraceFilter`].
+//!   [`Tracer::counting`] gives a ring-less counting-only mode for
+//!   experiment sweeps, and [`TraceCounts::merge`] folds per-worker counts
+//!   together deterministically at join time.
 //! * [`TraceHandle`] — the cloneable handle instrumented components hold.
 //!   The disabled handle is a single `Option` check and never constructs
 //!   the event, so un-traced runs pay (and change) nothing.

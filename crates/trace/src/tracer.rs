@@ -131,6 +131,18 @@ impl TraceCounts {
             .filter(|&(_, c)| c > 0)
     }
 
+    /// Fold another count set into this one (per-kind totals and the
+    /// overflow count both add). This is how a parallel experiment sweep
+    /// combines the per-worker tracers at join time: merged counts are
+    /// order-independent, so the sweep totals stay deterministic no matter
+    /// which worker ran which cell.
+    pub fn merge(&mut self, other: &TraceCounts) {
+        for (a, b) in self.per_kind.iter_mut().zip(other.per_kind.iter()) {
+            *a += b;
+        }
+        self.overflowed += other.overflowed;
+    }
+
     fn bump(&mut self, kind: TraceKind) {
         self.per_kind[kind as usize] += 1;
     }
@@ -166,6 +178,20 @@ impl Tracer {
         }
     }
 
+    /// A counting-only tracer: per-kind [`TraceCounts`] are maintained but
+    /// no records are retained (and nothing ever counts as overflowed).
+    /// This is the mode experiment sweeps run every cell under — the counts
+    /// are deterministic and cheap, while retaining a ring per cell would
+    /// cost memory proportional to the grid size.
+    pub fn counting(filter: TraceFilter) -> Self {
+        Tracer {
+            buf: VecDeque::new(),
+            capacity: 0,
+            filter,
+            counts: TraceCounts::default(),
+        }
+    }
+
     /// Record an event at `at` (subject to the filter).
     pub fn record(&mut self, at: Nanos, event: TraceEvent) {
         let kind = event.kind();
@@ -173,6 +199,9 @@ impl Tracer {
             return;
         }
         self.counts.bump(kind);
+        if self.capacity == 0 {
+            return; // counting-only mode: no ring to fill.
+        }
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
             self.counts.overflowed += 1;
@@ -319,6 +348,57 @@ mod tests {
         h.emit(Nanos::from_nanos(1), || ev(1.0));
         h2.emit(Nanos::from_nanos(2), || ev(2.0));
         assert_eq!(h.with(|t| t.len()), Some(2));
+    }
+
+    #[test]
+    fn counting_mode_counts_without_retaining() {
+        let mut t = Tracer::counting(TraceFilter::all());
+        for i in 0..100 {
+            t.record(Nanos::from_nanos(i), ev(i as f64));
+        }
+        assert_eq!(t.counts().of(TraceKind::IioOccupancy), 100);
+        assert_eq!(
+            t.counts().overflowed,
+            0,
+            "nothing retained, nothing evicted"
+        );
+        assert!(t.is_empty());
+        assert_eq!(t.records().count(), 0);
+    }
+
+    #[test]
+    fn counting_mode_still_filters() {
+        let mut t = Tracer::counting(TraceFilter::parse("drop").unwrap());
+        t.record(Nanos::ZERO, ev(1.0)); // iio: filtered out
+        t.record(
+            Nanos::ZERO,
+            TraceEvent::PacketDrop {
+                flow: 0,
+                locus: DropLocus::Nic,
+            },
+        );
+        assert_eq!(t.counts().total(), 1);
+    }
+
+    #[test]
+    fn merge_adds_per_kind_and_overflow() {
+        let mut a = Tracer::new(1, TraceFilter::all());
+        a.record(Nanos::ZERO, ev(1.0));
+        a.record(Nanos::ZERO, ev(2.0)); // evicts the first
+        let mut b = Tracer::counting(TraceFilter::all());
+        b.record(Nanos::ZERO, TraceEvent::MbaRequest { level: 2 });
+
+        let mut total = a.counts();
+        total.merge(&b.counts());
+        assert_eq!(total.of(TraceKind::IioOccupancy), 2);
+        assert_eq!(total.of(TraceKind::MbaRequest), 1);
+        assert_eq!(total.overflowed, 1);
+        assert_eq!(total.total(), 3);
+
+        // Merge is commutative: the sweep's join order cannot matter.
+        let mut flipped = b.counts();
+        flipped.merge(&a.counts());
+        assert_eq!(flipped, total);
     }
 
     #[test]
