@@ -1,10 +1,14 @@
 //! `repro` — regenerate any figure of the hostCC paper, run a parameter
-//! sweep, or run a single scenario with structured tracing.
+//! sweep, or run a single scenario with structured tracing and telemetry.
 //!
 //! ```text
 //! repro [--quick] [--csv DIR] <fig2|fig3|...|fig19|all>
-//! repro [--quick] [--trace PATH] [--trace-filter CATS] <baseline|congested|hostcc|incast>
-//! repro sweep [--quick] [--workers N] [--out DIR] <preset | axis=v1,v2 ...>
+//! repro [--quick] [--trace PATH] [--trace-filter CATS]
+//!       [--telemetry] [--telemetry-interval NS] [--telemetry-filter PREFIXES]
+//!       [--telemetry-out DIR] [--strict-invariants]
+//!       <baseline|congested|hostcc|incast>
+//! repro sweep [--quick] [--workers N] [--out DIR] [--telemetry]
+//!       [--strict-invariants] <preset | axis=v1,v2 ...>
 //! repro sweep --list
 //! ```
 //!
@@ -18,11 +22,24 @@
 //! or as compact JSONL when `PATH` ends in `.jsonl`. `--trace-filter` limits
 //! collection to a comma-separated category list (e.g. `pcie,mba,drop`).
 //!
+//! `--telemetry` attaches the gauge sampler and invariant watchdog
+//! (hostcc-telemetry): the run prints a summary line, `--telemetry-out DIR`
+//! writes `telemetry.csv` (wide CSV, one column per gauge), `telemetry.jsonl`,
+//! `telemetry.prom` (Prometheus text) and `summary.json`.
+//! `--telemetry-interval` sets the sampling cadence in simulated
+//! nanoseconds (default 700), `--telemetry-filter` keeps only metrics under
+//! the given dot-separated prefixes (e.g. `host.iio,core.signals`), and
+//! `--strict-invariants` (implies `--telemetry`) exits nonzero with the
+//! watchdog's diagnostic if any conservation invariant is violated.
+//!
 //! `repro sweep` expands a declarative grid — a named preset
 //! (`repro sweep --list`) or ad-hoc axes (`repro sweep hostcc=off,on
 //! degree=0,1,2,3`) — and runs every cell across a worker pool
 //! (`--workers 0` = one per core). Per-cell results are bit-identical for
 //! any worker count; `--out DIR` writes `manifest.json` and `results.csv`.
+//! With `--telemetry` each cell also carries a telemetry fingerprint in the
+//! manifest, and `--strict-invariants` fails the whole sweep on the first
+//! violating cell.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -31,6 +48,11 @@ use hostcc_experiments::figures::{self, Budget, FigureReport};
 use hostcc_experiments::grid::GridSpec;
 use hostcc_experiments::sweep::{run_sweep, SweepOptions};
 use hostcc_experiments::{Scenario, Simulation};
+use hostcc_sim::Nanos;
+use hostcc_telemetry::{
+    prometheus_text, summary_json, to_jsonl, wide_csv, Telemetry, TelemetryConfig, TelemetryFilter,
+    TelemetryHandle,
+};
 use hostcc_trace::{
     write_chrome_trace, write_jsonl, SimRateProfiler, TraceFilter, TraceHandle, Tracer,
     DEFAULT_TRACE_CAPACITY,
@@ -69,7 +91,9 @@ const SCENARIOS: &[(&str, ScenarioFn)] = &[
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--quick] [--csv DIR] [--trace PATH] [--trace-filter CATS] <target>..."
+        "usage: repro [--quick] [--csv DIR] [--trace PATH] [--trace-filter CATS] \
+         [--telemetry] [--telemetry-interval NS] [--telemetry-filter PREFIXES] \
+         [--telemetry-out DIR] [--strict-invariants] <target>..."
     );
     eprintln!("       repro sweep [--quick] [--workers N] [--out DIR] <preset | axis=v1,v2 ...>");
     eprintln!("figures: all {}", valid_figures().join(" "));
@@ -134,13 +158,16 @@ fn sanitize(caption: &str) -> String {
         .to_string()
 }
 
-/// Run one scenario target, optionally tracing it, and print the summary.
+/// Run one scenario target, optionally tracing and sampling telemetry,
+/// and print the summary.
 fn run_scenario(
     name: &str,
     make: ScenarioFn,
     budget: &Budget,
     trace_path: Option<&str>,
     filter: TraceFilter,
+    telemetry: Option<&TelemetryConfig>,
+    telemetry_out: Option<&str>,
 ) -> Result<(), String> {
     let mut s = make();
     s.warmup = budget.warmup;
@@ -151,6 +178,9 @@ fn run_scenario(
             DEFAULT_TRACE_CAPACITY,
             filter,
         )));
+    }
+    if let Some(cfg) = telemetry {
+        sim.set_telemetry(TelemetryHandle::new(Telemetry::new(cfg.clone())));
     }
 
     let profiler = SimRateProfiler::start(sim.events_processed(), sim.now());
@@ -214,6 +244,32 @@ fn run_scenario(
             None => unreachable!("tracing was enabled above"),
         }
     }
+    if let Some(t) = &r.telemetry {
+        println!(
+            "telemetry: {} samples over {} series, {} watchdog checks, {} violation(s)",
+            t.summary.samples,
+            t.series.len(),
+            t.summary.checks,
+            t.summary.total_violations(),
+        );
+        if let Some(dir) = telemetry_out {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            for (file, contents) in [
+                ("telemetry.csv", wide_csv(&t.series)),
+                ("telemetry.jsonl", to_jsonl(&t.series)),
+                ("telemetry.prom", prometheus_text(&t.registry)),
+                ("summary.json", summary_json(t)),
+            ] {
+                let path = format!("{dir}/{file}");
+                std::fs::write(&path, &contents)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("[wrote {path}: {} bytes]", contents.len());
+            }
+        }
+        if let Err(d) = t.strict_verdict() {
+            return Err(format!("strict invariants: {d}"));
+        }
+    }
     println!();
     Ok(())
 }
@@ -249,7 +305,8 @@ fn build_spec(positionals: &[String]) -> Result<GridSpec, String> {
 fn sweep_usage() -> ExitCode {
     eprintln!(
         "usage: repro sweep [--quick] [--workers N] [--out DIR] [--no-trace] \
-         [--trace-filter CATS] <preset | axis=v1,v2 ...>"
+         [--trace-filter CATS] [--telemetry] [--strict-invariants] \
+         <preset | axis=v1,v2 ...>"
     );
     eprintln!("       repro sweep --list");
     eprintln!("presets:");
@@ -270,6 +327,11 @@ fn sweep_main(args: &[String]) -> ExitCode {
         match args[i].as_str() {
             "--quick" => budget = Budget::quick(),
             "--no-trace" => opts.trace = false,
+            "--telemetry" => opts.telemetry = true,
+            "--strict-invariants" => {
+                opts.telemetry = true;
+                opts.strict_invariants = true;
+            }
             "--workers" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
@@ -329,12 +391,21 @@ fn sweep_main(args: &[String]) -> ExitCode {
     let manifest = match run_sweep(&spec, &opts) {
         Ok(m) => m,
         Err(e) => {
-            eprintln!("invalid grid: {e}");
+            eprintln!("sweep failed: {e}");
             return ExitCode::FAILURE;
         }
     };
     println!("{}", manifest.summary_table().render());
     println!("{}", manifest.render_stats());
+    if let Some(t) = &manifest.telemetry {
+        println!(
+            "telemetry: {} samples, {} watchdog checks, {} violation(s), fingerprint {:#018x}",
+            t.samples,
+            t.checks,
+            t.total_violations(),
+            t.fingerprint(),
+        );
+    }
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
@@ -365,6 +436,9 @@ fn main() -> ExitCode {
     let mut csv_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut filter = TraceFilter::all();
+    let mut telemetry_on = false;
+    let mut telemetry_cfg = TelemetryConfig::default();
+    let mut telemetry_out: Option<String> = None;
     let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -387,10 +461,44 @@ fn main() -> ExitCode {
                 },
                 None => return usage(),
             },
+            "--telemetry" => telemetry_on = true,
+            "--strict-invariants" => {
+                telemetry_on = true;
+                telemetry_cfg.strict = true;
+            }
+            "--telemetry-interval" => {
+                telemetry_on = true;
+                match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ns) if ns > 0 => telemetry_cfg.interval = Nanos::from_nanos(ns),
+                    _ => {
+                        eprintln!("--telemetry-interval needs a positive nanosecond count");
+                        return usage();
+                    }
+                }
+            }
+            "--telemetry-filter" => {
+                telemetry_on = true;
+                match args.next().map(|s| TelemetryFilter::parse(&s)) {
+                    Some(Ok(f)) => telemetry_cfg.filter = f,
+                    Some(Err(e)) => {
+                        eprintln!("bad --telemetry-filter: {e}");
+                        return usage();
+                    }
+                    None => return usage(),
+                }
+            }
+            "--telemetry-out" => {
+                telemetry_on = true;
+                match args.next() {
+                    Some(dir) => telemetry_out = Some(dir),
+                    None => return usage(),
+                }
+            }
             "--help" | "-h" => return usage(),
             name => targets.push(name.to_string()),
         }
     }
+    let telemetry = telemetry_on.then_some(&telemetry_cfg);
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
@@ -416,7 +524,15 @@ fn main() -> ExitCode {
     }
     for t in &targets {
         if let Some((name, make)) = SCENARIOS.iter().find(|(n, _)| n == t) {
-            if let Err(e) = run_scenario(name, *make, &budget, trace_path.as_deref(), filter) {
+            if let Err(e) = run_scenario(
+                name,
+                *make,
+                &budget,
+                trace_path.as_deref(),
+                filter,
+                telemetry,
+                telemetry_out.as_deref(),
+            ) {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }

@@ -32,11 +32,14 @@ pub fn fig18(budget: &Budget) -> FigureReport {
             f2(r.mean_is),
             f2(r.mean_level),
         ]);
-        if let Some(rec) = &r.recording {
+        if let (Some(bs), Some(is)) = (
+            r.series("host.pcie.bw_gbps"),
+            r.series("core.signals.is_raw"),
+        ) {
             notes.push(format!(
                 "{name}: B_S {}  I_S {}",
-                rec.bs_gbps.sparkline(50),
-                rec.is_raw.sparkline(50)
+                bs.sparkline(50),
+                is.sparkline(50)
             ));
         }
     }
@@ -56,21 +59,22 @@ pub fn fig19(budget: &Budget) -> FigureReport {
     let mut s = budget.apply(Scenario::with_congestion(3.0)).enable_hostcc();
     s.record = true;
     let r = run(s);
-    let rec = r.recording.expect("recording enabled");
+    let bs_series = r.series("host.pcie.bw_gbps").expect("telemetry enabled");
+    let lvl_series = r.series("host.mba.level").expect("telemetry enabled");
+    let is_series = r.series("core.signals.is_ewma").expect("telemetry enabled");
     // Slice the last millisecond of the measurement window: by then the
     // MBA level, DCTCP and the signals have settled into their limit
     // cycle, and 1 ms always spans several full oscillations (the paper
     // plots 250 µs; a fixed 250 µs slice can land inside one phase).
-    let end = rec
-        .bs_gbps
+    let end = bs_series
         .iter()
         .last()
         .map(|(t, _)| t)
         .unwrap_or(Nanos::ZERO);
     let start = end.saturating_sub(Nanos::from_millis(1));
-    let bs = rec.bs_gbps.window(start, end).downsample(40);
-    let lvl = rec.level.window(start, end).downsample(40);
-    let is = rec.is_ewma.window(start, end).downsample(40);
+    let bs = bs_series.window(start, end).downsample(40);
+    let lvl = lvl_series.window(start, end).downsample(40);
+    let is = is_series.window(start, end).downsample(40);
     let mut t = Table::new([
         "time_us",
         "pcie_bw_gbps",
@@ -93,13 +97,13 @@ pub fn fig19(budget: &Budget) -> FigureReport {
         notes: vec![
             format!(
                 "B_T = {bt} Gbps; window means: B_S = {:.1} Gbps, level = {:.2}, I_S = {:.1}",
-                rec.bs_gbps.window(start, end).mean().unwrap_or(0.0),
-                rec.level.window(start, end).mean().unwrap_or(0.0),
-                rec.is_ewma.window(start, end).mean().unwrap_or(0.0),
+                bs_series.window(start, end).mean().unwrap_or(0.0),
+                lvl_series.window(start, end).mean().unwrap_or(0.0),
+                is_series.window(start, end).mean().unwrap_or(0.0),
             ),
             format!(
                 "level trace: {}   (paper: oscillates between levels 3 and 4)",
-                rec.level.window(start, end).sparkline(60)
+                lvl_series.window(start, end).sparkline(60)
             ),
             format!("mba writes during run: {}", r.mba_writes),
         ],

@@ -54,12 +54,13 @@ pub fn fig8(budget: &Budget) -> FigureReport {
         let mut s = budget.apply(Scenario::with_congestion(degree));
         s.record = true;
         let r = run(s);
-        let rec = r.recording.expect("recording enabled");
+        let bs_series = r.series("host.pcie.bw_gbps").expect("telemetry enabled");
+        let is_series = r.series("core.signals.is_raw").expect("telemetry enabled");
         // Take a 1 ms slice mid-window, as the paper plots.
-        let start = s_start(&rec.bs_gbps);
+        let start = s_start(bs_series);
         let end = start + Nanos::from_millis(1);
-        let bs = rec.bs_gbps.window(start, end).downsample(25);
-        let is = rec.is_raw.window(start, end).downsample(25);
+        let bs = bs_series.window(start, end).downsample(25);
+        let is = is_series.window(start, end).downsample(25);
         let mut t = Table::new(["time_us", "pcie_bw_gbps", "iio_occupancy"]);
         for ((tb, vb), (_, vi)) in bs.iter().zip(is.iter()) {
             t.row([
@@ -70,10 +71,10 @@ pub fn fig8(budget: &Budget) -> FigureReport {
         }
         notes.push(format!(
             "{label}: B_S mean={:.1} Gbps, I_S mean={:.1}, I_S max={:.1}  {}",
-            rec.bs_gbps.mean().unwrap_or(0.0),
-            rec.is_raw.mean().unwrap_or(0.0),
-            rec.is_raw.max().unwrap_or(0.0),
-            rec.is_raw.sparkline(60),
+            bs_series.mean().unwrap_or(0.0),
+            is_series.mean().unwrap_or(0.0),
+            is_series.max().unwrap_or(0.0),
+            is_series.sparkline(60),
         ));
         panels.push((label.to_string(), t));
     }

@@ -54,6 +54,6 @@ mod scenario;
 mod sim;
 pub mod sweep;
 
-pub use result::{Recording, RpcResult, RunResult};
+pub use result::{RpcResult, RunResult};
 pub use scenario::{CcKind, Scenario};
 pub use sim::Simulation;

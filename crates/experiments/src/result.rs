@@ -4,36 +4,8 @@ use std::collections::HashMap;
 
 use hostcc_metrics::{Cdf, Histogram, TimeSeries};
 use hostcc_sim::{Nanos, Rate};
+use hostcc_telemetry::TelemetryResult;
 use hostcc_trace::TraceCounts;
-
-/// Time-series recording of the hostCC-relevant microscopic state
-/// (Fig 8, 18, 19), sampled at signal-sampler granularity (~1 µs).
-#[derive(Debug, Clone, Default)]
-pub struct Recording {
-    /// Raw per-interval IIO occupancy (cachelines).
-    pub is_raw: TimeSeries,
-    /// Smoothed `I_S`.
-    pub is_ewma: TimeSeries,
-    /// Raw per-interval PCIe bandwidth (Gbps).
-    pub bs_gbps: TimeSeries,
-    /// Effective MBA response level.
-    pub level: TimeSeries,
-    /// NIC buffer backlog (bytes).
-    pub nic_backlog: TimeSeries,
-}
-
-impl Recording {
-    /// Empty recording with named series.
-    pub fn new() -> Self {
-        Recording {
-            is_raw: TimeSeries::new("iio_occupancy"),
-            is_ewma: TimeSeries::new("iio_occupancy_ewma"),
-            bs_gbps: TimeSeries::new("pcie_bw_gbps"),
-            level: TimeSeries::new("response_level"),
-            nic_backlog: TimeSeries::new("nic_backlog_bytes"),
-        }
-    }
-}
 
 /// Per-RPC-size latency summary.
 #[derive(Debug, Clone)]
@@ -94,8 +66,10 @@ pub struct RunResult {
     pub read_is_cdf: Cdf,
     /// CDF of the `R_INS` read latency.
     pub read_bs_cdf: Cdf,
-    /// Microscopic time series (when `Scenario::record` was set).
-    pub recording: Option<Recording>,
+    /// The run's telemetry (recorded series, registry, mergeable summary)
+    /// when a telemetry pipeline was attached — via `Scenario::record` or
+    /// [`Simulation::set_telemetry`](crate::Simulation::set_telemetry).
+    pub telemetry: Option<TelemetryResult>,
     /// Deterministic per-kind traced-event totals (when tracing was
     /// enabled via [`Simulation::set_trace`](crate::Simulation::set_trace)).
     /// `None` on un-traced runs, so results stay comparable to the
@@ -117,5 +91,12 @@ impl RunResult {
     /// Total drops across all loss points.
     pub fn total_drops(&self) -> u64 {
         self.nic_drops + self.switch_drops
+    }
+
+    /// A recorded telemetry series by metric name (e.g.
+    /// `"host.pcie.bw_gbps"`), when telemetry was enabled and the series
+    /// has at least one point.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.telemetry.as_ref().and_then(|t| t.series.get(name))
     }
 }

@@ -13,18 +13,19 @@
 //!   reverse delay) → Flow.on_ack
 //! ```
 
-use hostcc_core::{EcnEcho, HostCc, SignalConfig, SignalSampler, TargetPolicy};
+use hostcc_core::{EcnEcho, HostCc, Sample, SignalConfig, SignalSampler, TargetPolicy};
 use hostcc_fabric::{
     Departure, EnqueueOutcome, FaultInjector, FaultOutcome, FlowId, FqLink, Packet, SwitchPort,
 };
-use hostcc_host::{MsrReadModel, RxHost, TxHost};
+use hostcc_host::{MsrReadModel, RxHost, TxHost, MBA_LEVELS};
 use hostcc_metrics::Cdf;
 use hostcc_sim::{EventQueue, Nanos, Rate, Rng};
+use hostcc_telemetry::{Telemetry, TelemetryHandle, WatchdogInput};
 use hostcc_trace::{DropLocus, TraceCounts, TraceEvent, TraceHandle};
 use hostcc_transport::{Cubic, Dctcp, Flow, FlowConfig, FlowStats, Receiver, Reno, Swift, Timely};
 use hostcc_workloads::RpcClient;
 
-use crate::result::{Recording, RpcResult, RunResult};
+use crate::result::{RpcResult, RunResult};
 use crate::scenario::{CcKind, Scenario};
 
 /// Simulation events.
@@ -92,7 +93,13 @@ pub struct Simulation {
     bs_sum: f64,
     read_is_cdf: Cdf,
     read_bs_cdf: Cdf,
-    recording: Option<Recording>,
+    /// Shared telemetry pipeline: registry gauges, the periodic sampler
+    /// and the invariant watchdog. Disabled by default; `Scenario::record`
+    /// attaches a default pipeline, `set_telemetry` a configured one.
+    telemetry: TelemetryHandle,
+    /// Latest monitoring-sampler observation, held so the telemetry
+    /// sampler sees the signals between (jittered) monitor samples.
+    last_signal: Option<Sample>,
     mapp_started: bool,
     net_stopped: bool,
     /// Optional dynamic target-bandwidth policy driving `hostcc.set_bt`
@@ -226,7 +233,11 @@ impl Simulation {
             .map(|_| FqLink::new(Rate::gbps(100.0)))
             .collect();
         let switch = SwitchPort::new(cfg.switch);
-        let recording = cfg.record.then(Recording::new);
+        let telemetry = if cfg.record {
+            TelemetryHandle::new(Telemetry::default())
+        } else {
+            TelemetryHandle::disabled()
+        };
         let tick = cfg.host.tick;
 
         Simulation {
@@ -259,7 +270,8 @@ impl Simulation {
             bs_sum: 0.0,
             read_is_cdf: Cdf::new(),
             read_bs_cdf: Cdf::new(),
-            recording,
+            telemetry,
+            last_signal: None,
             mapp_started: cfg.mapp_start == Nanos::ZERO,
             net_stopped: false,
             policy: None,
@@ -284,6 +296,21 @@ impl Simulation {
             f.set_trace(trace.clone());
         }
         self.trace = trace;
+    }
+
+    /// Attach a telemetry pipeline (replacing the default one
+    /// `Scenario::record` installs, or the disabled handle otherwise).
+    /// Call before `run`; the handle can be inspected afterwards, and
+    /// [`RunResult::telemetry`](crate::RunResult::telemetry) carries the
+    /// frozen result.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    /// The shared telemetry handle (disabled unless `Scenario::record` or
+    /// [`Simulation::set_telemetry`] enabled it).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// Total simulation events popped from the queue so far (sim-rate
@@ -594,23 +621,18 @@ impl Simulation {
             self.is_count += 1;
             self.read_is_cdf.record(sample.read_is);
             self.read_bs_cdf.record(sample.read_bs);
-            if let Some(rec) = &mut self.recording {
-                rec.is_raw.push(now, sample.is_raw);
-                rec.is_ewma.push(now, sample.is);
-                rec.bs_gbps.push(now, sample.bs_raw.as_gbps());
-                let level = self
-                    .hostcc
-                    .as_ref()
-                    .map(|_| f64::from(self.rx.mba().requested_level()))
-                    .unwrap_or(0.0);
-                rec.level.push(now, level);
-                rec.nic_backlog
-                    .push(now, self.rx.nic_backlog_bytes() as f64);
-            }
+            self.telemetry.with_mut(|t| {
+                t.registry_mut().histogram_record(
+                    "core.signals.read_latency_ns",
+                    sample.read_latency().as_nanos() as f64,
+                )
+            });
+            self.last_signal = Some(sample);
         }
         let eff_level = f64::from(self.rx.mba_mut().effective_level(now));
         self.level_sum += eff_level;
         self.level_ticks += 1;
+        self.sample_telemetry(now, eff_level);
 
         // 7. Workloads and flow timers.
         for k in 0..self.rpcs.len() {
@@ -623,6 +645,81 @@ impl Simulation {
             self.flows[i].on_tick(now);
             self.pump_flow(i, now);
         }
+    }
+
+    /// Update registry gauges from the host probe and the latest signal
+    /// sample, run the invariant watchdog, and snapshot a telemetry sample
+    /// — when a pipeline is attached and a sample is due. Every value is a
+    /// plain read of existing model state, so the instrumented run is
+    /// bit-identical to an uninstrumented one.
+    fn sample_telemetry(&mut self, now: Nanos, eff_level: f64) {
+        if self.telemetry.with(|t| t.due(now)) != Some(true) {
+            return;
+        }
+        let probe = self.rx.probe();
+        let requested_level = self
+            .hostcc
+            .as_ref()
+            .map(|_| f64::from(self.rx.mba().requested_level()))
+            .unwrap_or(0.0);
+        let signal = self.last_signal;
+        let ecn_marks = self.echo.host_marks + self.switch.marks();
+        // The first few flows are interesting individually (Fig 8's
+        // convergence view); beyond that per-flow series are noise.
+        let flow_rates: Vec<(usize, f64)> = self
+            .flows
+            .iter()
+            .take(8)
+            .enumerate()
+            .filter_map(|(i, f)| {
+                let srtt = f.srtt()?;
+                if srtt == Nanos::ZERO {
+                    return None;
+                }
+                Some((i, f.cwnd() as f64 * 8.0 / srtt.as_nanos() as f64))
+            })
+            .collect();
+        let input = WatchdogInput {
+            // The probe's arrivals count accepted packets only; the
+            // conservation identity wants everything that ever hit the NIC.
+            nic_arrivals: probe.nic_arrivals_total + probe.nic_drops_total,
+            nic_drops: probe.nic_drops_total,
+            nic_queued: probe.nic_queued,
+            iio_pending: probe.iio_pending,
+            delivered: probe.delivered_total,
+            pcie_inflight_bytes: probe.pcie_inflight_bytes,
+            iio_waiting_bytes: probe.iio_waiting_bytes,
+            pcie_credit_limit_bytes: probe.pcie_credit_limit_bytes,
+            iio_inserted_bytes: probe.iio_inserted_bytes,
+            iio_admitted_bytes: probe.iio_admitted_bytes,
+            mba_requested: probe.mba_requested,
+            mba_effective: eff_level as u8,
+            mba_levels: MBA_LEVELS,
+        };
+        self.telemetry.with_mut(|t| {
+            let reg = t.registry_mut();
+            if let Some(s) = signal {
+                reg.gauge_set("core.signals.is_raw", s.is_raw);
+                reg.gauge_set("core.signals.is_ewma", s.is);
+                reg.gauge_set("host.pcie.bw_gbps", s.bs_raw.as_gbps());
+            }
+            reg.gauge_set("host.mba.level", requested_level);
+            reg.gauge_set("host.mba.level_effective", eff_level);
+            reg.gauge_set("host.nic.backlog_bytes", probe.nic_backlog_bytes as f64);
+            reg.gauge_set("host.iio.occupancy_bytes", probe.iio_waiting_bytes);
+            reg.gauge_set("host.pcie.inflight_bytes", probe.pcie_inflight_bytes);
+            reg.gauge_set("host.pcie.credits_avail", probe.pcie_credits_avail_bytes);
+            reg.gauge_set("host.memctrl.utilization", probe.mc_utilization);
+            reg.gauge_set("host.ddio.eviction_fraction", probe.ddio_eviction_fraction);
+            reg.gauge_set("host.copy.backlog_bytes", probe.copy_backlog_app_bytes);
+            for &(i, gbps) in &flow_rates {
+                reg.gauge_set(&format!("transport.flow.{i}.rate_gbps"), gbps);
+            }
+            reg.counter_set("host.nic.arrivals", probe.nic_arrivals_total);
+            reg.counter_set("host.nic.drops", probe.nic_drops_total);
+            reg.counter_set("core.echo.ecn_marks", ecn_marks);
+            t.check_and_sample(now, &input);
+        });
     }
 
     /// Reset all measurement windows (end of warm-up).
@@ -652,9 +749,7 @@ impl Simulation {
         for (_, rpc) in &mut self.rpcs {
             rpc.reset_window();
         }
-        if let Some(rec) = &mut self.recording {
-            *rec = Recording::new();
-        }
+        self.telemetry.with_mut(|t| t.reset_window());
     }
 
     fn collect(&mut self, window: Nanos) -> RunResult {
@@ -752,7 +847,7 @@ impl Simulation {
             rpc,
             read_is_cdf: std::mem::take(&mut self.read_is_cdf),
             read_bs_cdf: std::mem::take(&mut self.read_bs_cdf),
-            recording: self.recording.clone(),
+            telemetry: self.telemetry.result(),
             trace: self.trace.counts(),
         }
     }
@@ -852,6 +947,49 @@ mod tests {
         assert_eq!(plain.mba_writes, traced.mba_writes);
         assert!(plain.trace.is_none());
         assert!(traced.trace.is_some());
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_run() {
+        use hostcc_telemetry::{Telemetry, TelemetryConfig, TelemetryHandle};
+        let plain = quick(Scenario::with_congestion(3.0).enable_hostcc());
+        let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+        s.warmup = Nanos::from_millis(2);
+        s.measure = Nanos::from_millis(4);
+        let mut sim = Simulation::new(s);
+        sim.set_telemetry(TelemetryHandle::new(Telemetry::new(TelemetryConfig {
+            strict: true,
+            ..Default::default()
+        })));
+        let instrumented = sim.run();
+        assert_eq!(plain.goodput.as_gbps(), instrumented.goodput.as_gbps());
+        assert_eq!(plain.nic_drops, instrumented.nic_drops);
+        assert_eq!(plain.data_packets, instrumented.data_packets);
+        assert_eq!(plain.host_marks, instrumented.host_marks);
+        assert_eq!(plain.mba_writes, instrumented.mba_writes);
+        assert!(plain.telemetry.is_none());
+        let t = instrumented.telemetry.expect("telemetry was attached");
+        assert!(t.summary.samples > 0, "sampler must have fired");
+        assert_eq!(t.summary.total_violations(), 0, "{:?}", t.diagnostic);
+        t.strict_verdict().expect("no invariant may trip");
+        assert!(
+            t.series.contains_key("host.iio.occupancy_bytes"),
+            "series: {:?}",
+            t.series.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn record_flag_attaches_a_default_pipeline() {
+        let mut s = Scenario::with_congestion(2.0);
+        s.record = true;
+        let r = quick(s);
+        let t = r.telemetry.expect("record=true implies telemetry");
+        assert!(t.summary.samples > 0);
+        assert!(t.series.contains_key("core.signals.is_ewma"));
+        assert!(t.series.contains_key("host.pcie.bw_gbps"));
+        assert!(t.series.contains_key("host.mba.level"));
+        assert_eq!(t.summary.total_violations(), 0, "{:?}", t.diagnostic);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use hostcc_metrics::{f2, pct, Cdf, Table};
+use hostcc_telemetry::{Telemetry, TelemetryConfig, TelemetryHandle, TelemetrySummary};
 use hostcc_trace::{SimRateProfiler, TraceCounts, TraceFilter, TraceHandle, Tracer};
 
 use crate::grid::{Cell, GridSpec};
@@ -54,6 +55,12 @@ pub struct SweepOptions {
     pub trace: bool,
     /// Which event kinds the counting tracer records.
     pub trace_filter: TraceFilter,
+    /// Attach a telemetry pipeline (gauge sampler + invariant watchdog) to
+    /// every cell and merge the per-cell summaries into the manifest.
+    pub telemetry: bool,
+    /// Fail the sweep with the first watchdog diagnostic if any cell
+    /// violates an invariant (implies `telemetry`).
+    pub strict_invariants: bool,
 }
 
 impl Default for SweepOptions {
@@ -62,6 +69,8 @@ impl Default for SweepOptions {
             workers: 0,
             trace: true,
             trace_filter: TraceFilter::all(),
+            telemetry: false,
+            strict_invariants: false,
         }
     }
 }
@@ -235,6 +244,11 @@ pub struct CellRun {
     /// Deterministic per-kind trace-event totals (zeros when tracing was
     /// off).
     pub trace: TraceCounts,
+    /// The cell's telemetry summary (None when telemetry was off). Its
+    /// fingerprint is deterministic: equal at any worker count.
+    pub telemetry: Option<TelemetrySummary>,
+    /// First watchdog diagnostic, if any invariant was violated.
+    pub telemetry_diagnostic: Option<String>,
     /// Simulation events processed (deterministic).
     pub events: u64,
     /// Simulated nanoseconds covered (deterministic).
@@ -292,6 +306,12 @@ fn run_one(cell: &Cell, opts: &SweepOptions, worker: usize) -> (CellRun, Cdf, Cd
     if opts.trace {
         sim.set_trace(TraceHandle::new(Tracer::counting(opts.trace_filter)));
     }
+    if opts.telemetry || opts.strict_invariants {
+        sim.set_telemetry(TelemetryHandle::new(Telemetry::new(TelemetryConfig {
+            strict: opts.strict_invariants,
+            ..Default::default()
+        })));
+    }
     let profiler = SimRateProfiler::start(sim.events_processed(), sim.now());
     let result = sim.run();
     let report = profiler.finish(sim.events_processed(), sim.now());
@@ -302,6 +322,8 @@ fn run_one(cell: &Cell, opts: &SweepOptions, worker: usize) -> (CellRun, Cdf, Cd
         seed: cell.scenario.seed,
         metrics: CellMetrics::from_result(&result),
         trace: result.trace.unwrap_or_default(),
+        telemetry: result.telemetry.as_ref().map(|t| t.summary.clone()),
+        telemetry_diagnostic: result.telemetry.as_ref().and_then(|t| t.diagnostic.clone()),
         events: report.events,
         sim_ns: report.sim_ns,
         wall_secs: report.wall_secs,
@@ -373,10 +395,13 @@ pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, 
     let wall_secs = start.elapsed().as_secs_f64();
 
     let mut trace_totals = TraceCounts::default();
+    let mut telemetry_totals: Option<TelemetrySummary> = None;
     let mut cell_wall_secs = 0.0;
     let mut events = 0u64;
     let mut sim_ns = 0u64;
     let mut fingerprint = FNV_OFFSET;
+    // Runs are sorted by cell index, so every merge and fingerprint fold
+    // below happens in grid order regardless of worker count.
     for r in &runs {
         trace_totals.merge(&r.trace);
         cell_wall_secs += r.wall_secs;
@@ -385,6 +410,27 @@ pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, 
         fnv1a(&mut fingerprint, r.index as u64);
         fnv1a(&mut fingerprint, r.seed);
         fnv1a(&mut fingerprint, r.metrics.fingerprint());
+        if let Some(s) = &r.telemetry {
+            fnv1a(&mut fingerprint, s.fingerprint());
+            telemetry_totals
+                .get_or_insert_with(TelemetrySummary::default)
+                .merge(s);
+        }
+    }
+    if opts.strict_invariants {
+        for r in &runs {
+            let violations = r.telemetry.as_ref().map_or(0, |s| s.total_violations());
+            if violations > 0 {
+                let label = if r.key.is_empty() { "(base)" } else { &r.key };
+                return Err(format!(
+                    "strict invariants: cell {} {label}: {}",
+                    r.index,
+                    r.telemetry_diagnostic
+                        .clone()
+                        .unwrap_or_else(|| "invariant violated".to_string())
+                ));
+            }
+        }
     }
     let q = |cdf: &mut Cdf, q: f64| cdf.quantile(q).map(|n| n.as_nanos());
     Ok(SweepManifest {
@@ -396,6 +442,7 @@ pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, 
         read_bs_p99_ns: q(&mut read_bs, 0.99),
         cells: runs,
         trace_totals,
+        telemetry: telemetry_totals,
         wall_secs,
         cell_wall_secs,
         events,
@@ -418,6 +465,9 @@ pub struct SweepManifest {
     pub cells: Vec<CellRun>,
     /// Trace-event totals summed over all cells (zeros if tracing off).
     pub trace_totals: TraceCounts,
+    /// Telemetry summaries merged over all cells, in grid order (None when
+    /// telemetry was off).
+    pub telemetry: Option<TelemetrySummary>,
     /// Whole-sweep elapsed wall-clock seconds.
     pub wall_secs: f64,
     /// Sum of per-cell wall-clock seconds (the serial-equivalent cost).
@@ -464,6 +514,46 @@ fn json_f64(v: f64) -> String {
 
 fn json_opt(v: Option<u64>) -> String {
     v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+/// RFC 4180 field quoting: wrap in double quotes (doubling embedded
+/// quotes) only when the field contains a comma, quote, CR or LF. Plain
+/// fields pass through untouched, so exports of today's grids — whose
+/// parameter values never need quoting — stay byte-identical.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\r', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Split one single-line CSV record into its fields, undoing
+/// [`csv_escape`]: quoted fields may contain commas and doubled quotes.
+/// The inverse of joining escaped fields with `,` — see the round-trip
+/// test.
+pub fn csv_parse_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() => quoted = true,
+            ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
 }
 
 impl SweepManifest {
@@ -517,6 +607,16 @@ impl SweepManifest {
             json_opt(self.read_bs_p50_ns),
             json_opt(self.read_bs_p99_ns),
         ));
+        if let Some(t) = &self.telemetry {
+            s.push_str(&format!(
+                "  \"telemetry\": {{\"samples\": {}, \"checks\": {}, \
+                 \"watchdog_violations\": {}, \"fingerprint\": \"{:#018x}\"}},\n",
+                t.samples,
+                t.checks,
+                t.total_violations(),
+                t.fingerprint()
+            ));
+        }
         s.push_str("  \"trace_totals\": {");
         let mut first = true;
         for (kind, count) in self.trace_totals.iter() {
@@ -546,6 +646,13 @@ impl SweepManifest {
             s.push_str(&format!("\"events\": {}, ", c.events));
             s.push_str(&format!("\"sim_ns\": {}, ", c.sim_ns));
             s.push_str(&format!("\"trace_total\": {}, ", c.trace.total()));
+            if let Some(ts) = &c.telemetry {
+                s.push_str(&format!(
+                    "\"telemetry_fingerprint\": \"{:#018x}\", \"watchdog_violations\": {}, ",
+                    ts.fingerprint(),
+                    ts.total_violations()
+                ));
+            }
             s.push_str(&format!(
                 "\"fingerprint\": \"{:#018x}\", ",
                 c.metrics.fingerprint()
@@ -630,7 +737,7 @@ impl SweepManifest {
             let m = &c.metrics;
             s.push_str(&format!("{},{}", c.index, c.seed));
             for (_, value) in &c.params {
-                s.push_str(&format!(",{value}"));
+                s.push_str(&format!(",{}", csv_escape(value)));
             }
             s.push_str(&format!(
                 ",{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:#018x}\n",
@@ -825,6 +932,84 @@ mod tests {
             assert_eq!(b.trace.total(), 0);
         }
         assert!(with.iter().any(|r| r.trace.total() > 0));
+    }
+
+    #[test]
+    fn csv_quoting_round_trips() {
+        let fields = [
+            "plain",
+            "with,comma",
+            "with \"quotes\"",
+            "both,\"of\",them",
+            "",
+            "4096",
+        ];
+        let line = fields
+            .iter()
+            .map(|f| csv_escape(f))
+            .collect::<Vec<_>>()
+            .join(",");
+        assert_eq!(csv_parse_record(&line), fields);
+        assert_eq!(csv_escape("plain"), "plain", "clean fields stay unquoted");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn existing_csv_rows_parse_to_their_fields() {
+        let spec = tiny_grid();
+        let m = run_sweep(&spec, &SweepOptions::default()).unwrap();
+        let csv = m.to_csv();
+        let header = csv_parse_record(csv.lines().next().unwrap());
+        for line in csv.lines().skip(1) {
+            assert_eq!(csv_parse_record(line).len(), header.len());
+        }
+    }
+
+    #[test]
+    fn telemetry_summaries_are_deterministic_and_merged() {
+        let spec = tiny_grid();
+        let opts = |workers| SweepOptions {
+            workers,
+            telemetry: true,
+            strict_invariants: true,
+            ..SweepOptions::default()
+        };
+        let serial = run_sweep(&spec, &opts(1)).unwrap();
+        let parallel = run_sweep(&spec, &opts(4)).unwrap();
+        assert_eq!(serial.fingerprint, parallel.fingerprint);
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            let sa = a.telemetry.as_ref().expect("telemetry was on");
+            let sb = b.telemetry.as_ref().expect("telemetry was on");
+            assert_eq!(sa.fingerprint(), sb.fingerprint(), "cell {}", a.key);
+            assert_eq!(sa.total_violations(), 0, "{:?}", a.telemetry_diagnostic);
+        }
+        let total = serial.telemetry.as_ref().expect("merged summary present");
+        assert_eq!(
+            total.samples,
+            serial
+                .cells
+                .iter()
+                .map(|c| c.telemetry.as_ref().unwrap().samples)
+                .sum::<u64>()
+        );
+        let json = serial.to_json();
+        assert!(json.contains("\"watchdog_violations\": 0"), "{json}");
+        assert!(json.contains("\"telemetry_fingerprint\""));
+
+        // Telemetry folds into the manifest fingerprint; a telemetry-off
+        // sweep of the same grid keeps its original fingerprint.
+        let without = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers: 1,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(without.telemetry.is_none());
+        assert_ne!(without.fingerprint, serial.fingerprint);
+        assert!(!without.to_json().contains("telemetry_fingerprint"));
     }
 
     #[test]

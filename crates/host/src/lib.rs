@@ -86,5 +86,5 @@ pub use memctrl::{Demand, Grants, MemoryController};
 pub use msr::{CounterSnapshot, MsrBank, MsrReadModel};
 pub use nic::{NicRxQueue, StreamedPacket};
 pub use pcie::WirePipe;
-pub use rxhost::{Delivered, RxHost, TickOutput};
+pub use rxhost::{Delivered, HostProbe, RxHost, TickOutput};
 pub use txhost::TxHost;

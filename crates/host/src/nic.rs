@@ -49,6 +49,10 @@ pub struct NicRxQueue {
     pub drops: u64,
     /// Peak buffer occupancy observed.
     pub peak_used_bytes: u64,
+    /// Packets ever accepted (never reset — conservation checks).
+    arrivals_total: u64,
+    /// Packets ever dropped (never reset — conservation checks).
+    drops_total: u64,
 }
 
 impl NicRxQueue {
@@ -63,6 +67,8 @@ impl NicRxQueue {
             arrivals: 0,
             drops: 0,
             peak_used_bytes: 0,
+            arrivals_total: 0,
+            drops_total: 0,
         }
     }
 
@@ -72,11 +78,13 @@ impl NicRxQueue {
         let wire = pkt.wire_bytes();
         if self.used_bytes + wire > self.capacity_bytes {
             self.drops += 1;
+            self.drops_total += 1;
             return false;
         }
         self.used_bytes += wire;
         self.peak_used_bytes = self.peak_used_bytes.max(self.used_bytes);
         self.arrivals += 1;
+        self.arrivals_total += 1;
         self.queue.push_back(NicEntry {
             pkt,
             dma_bytes,
@@ -137,6 +145,16 @@ impl NicRxQueue {
     /// Total DMA bytes ever streamed.
     pub fn cum_streamed(&self) -> f64 {
         self.cum_streamed
+    }
+
+    /// Packets ever accepted, across window resets.
+    pub fn arrivals_total(&self) -> u64 {
+        self.arrivals_total
+    }
+
+    /// Packets ever tail-dropped, across window resets.
+    pub fn drops_total(&self) -> u64 {
+        self.drops_total
     }
 
     /// Reset drop/arrival window counters (occupancy state persists).

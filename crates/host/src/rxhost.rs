@@ -54,6 +54,47 @@ pub struct TickOutput {
     pub inserted_bytes: f64,
 }
 
+/// A read-only snapshot of the host datapath for telemetry gauges and
+/// conservation checks. All fields are plain reads of existing state —
+/// taking a probe never perturbs the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostProbe {
+    /// Packets ever accepted by the NIC (cumulative, survives window resets).
+    pub nic_arrivals_total: u64,
+    /// Packets ever tail-dropped at the NIC (cumulative).
+    pub nic_drops_total: u64,
+    /// Packets currently in NIC SRAM (including a partially-DMAed head).
+    pub nic_queued: u64,
+    /// NIC buffer backlog in bytes.
+    pub nic_backlog_bytes: u64,
+    /// Packets fully streamed onto PCIe, not yet evicted from the IIO.
+    pub iio_pending: u64,
+    /// Packets ever delivered to the copy engine (cumulative).
+    pub delivered_total: u64,
+    /// Bytes currently in flight on the PCIe wire.
+    pub pcie_inflight_bytes: f64,
+    /// PCIe credits currently available, in bytes.
+    pub pcie_credits_avail_bytes: f64,
+    /// The configured PCIe credit limit, in bytes.
+    pub pcie_credit_limit_bytes: f64,
+    /// Bytes currently buffered in the IIO.
+    pub iio_waiting_bytes: f64,
+    /// Cumulative bytes inserted into the IIO.
+    pub iio_inserted_bytes: f64,
+    /// Cumulative bytes admitted from the IIO to memory.
+    pub iio_admitted_bytes: f64,
+    /// Currently requested MBA throttle level.
+    pub mba_requested: u8,
+    /// Current DDIO eviction fraction.
+    pub ddio_eviction_fraction: f64,
+    /// Application bytes waiting in the copy backlog.
+    pub copy_backlog_app_bytes: f64,
+    /// Cumulative memory-controller bytes served this window (all requesters).
+    pub mc_served_bytes: f64,
+    /// Memory-controller utilization over the current window.
+    pub mc_utilization: f64,
+}
+
 /// The receiver host model.
 #[derive(Debug)]
 pub struct RxHost {
@@ -71,6 +112,8 @@ pub struct RxHost {
     pub delivered_payload_bytes: u64,
     /// Packets delivered in the current window.
     pub delivered_packets: u64,
+    /// Packets ever delivered (never reset — conservation checks).
+    delivered_packets_total: u64,
     last_tick_at: Nanos,
     trace: TraceHandle,
     /// When the current PCIe credit stall began (None = not stalled).
@@ -100,6 +143,7 @@ impl RxHost {
             msr: MsrBank::new(),
             delivered_payload_bytes: 0,
             delivered_packets: 0,
+            delivered_packets_total: 0,
             last_tick_at: Nanos::ZERO,
             trace: TraceHandle::disabled(),
             stalled_since: None,
@@ -216,6 +260,7 @@ impl RxHost {
             self.copy.push(&self.cfg, payload as f64);
             self.delivered_payload_bytes += payload;
             self.delivered_packets += 1;
+            self.delivered_packets_total += 1;
             delivered.push(Delivered {
                 pkt: spkt.pkt,
                 nic_at: spkt.enqueued_at,
@@ -414,6 +459,39 @@ impl RxHost {
             return Rate::ZERO;
         }
         Rate::bytes_per_ns(self.mapp.app_bytes(&self.cfg) / window.as_nanos() as f64)
+    }
+
+    /// Packets ever delivered, across window resets.
+    pub fn delivered_packets_total(&self) -> u64 {
+        self.delivered_packets_total
+    }
+
+    /// Take a read-only telemetry snapshot of the whole datapath.
+    pub fn probe(&self) -> HostProbe {
+        let credits_avail =
+            (self.cfg.pcie_credit_bytes() - self.wire.inflight_bytes() - self.iio.waiting_bytes())
+                .max(0.0);
+        HostProbe {
+            nic_arrivals_total: self.nic.arrivals_total(),
+            nic_drops_total: self.nic.drops_total(),
+            nic_queued: self.nic.len() as u64,
+            nic_backlog_bytes: self.nic.backlog_bytes(),
+            iio_pending: self.iio.pending_packets() as u64,
+            delivered_total: self.delivered_packets_total,
+            pcie_inflight_bytes: self.wire.inflight_bytes(),
+            pcie_credits_avail_bytes: credits_avail,
+            pcie_credit_limit_bytes: self.cfg.pcie_credit_bytes(),
+            iio_waiting_bytes: self.iio.waiting_bytes(),
+            iio_inserted_bytes: self.iio.inserted_cum(),
+            iio_admitted_bytes: self.iio.admitted_cum(),
+            mba_requested: self.mba.requested_level(),
+            ddio_eviction_fraction: self.ddio.eviction_fraction(&self.cfg),
+            copy_backlog_app_bytes: self.copy.backlog_app_bytes(&self.cfg),
+            mc_served_bytes: self.mc.served_iio_bytes
+                + self.mc.served_mapp_bytes
+                + self.mc.served_copy_bytes,
+            mc_utilization: self.mc.utilization(),
+        }
     }
 
     /// Reset all window accounting (after warm-up).
@@ -618,6 +696,47 @@ mod tests {
         let traced_bytes = drive(&mut traced, Rate::gbps(100.0), 4030, dur);
         assert_eq!(plain_bytes, traced_bytes);
         assert_eq!(plain.nic_drops(), traced.nic_drops());
+    }
+
+    #[test]
+    fn probe_conserves_packets_and_credits_under_congestion() {
+        let mut h = host(3.0);
+        let dt = h.cfg().tick;
+        let gap = Rate::gbps(100.0).time_for_bytes(4096);
+        let (mut now, mut next, mut id) = (Nanos::ZERO, Nanos::ZERO, 0u64);
+        while now < Nanos::from_millis(2) {
+            now += dt;
+            while next <= now {
+                h.on_wire_arrival(Packet::data(id, FlowId(0), 0, 4030, false, next), next);
+                id += 1;
+                next += gap;
+            }
+            h.tick(now);
+            let p = h.probe();
+            assert_eq!(
+                p.nic_arrivals_total,
+                p.nic_queued + p.iio_pending + p.delivered_total,
+                "packet conservation at t={now:?}"
+            );
+            assert!(
+                p.pcie_inflight_bytes + p.iio_waiting_bytes <= p.pcie_credit_limit_bytes + 1.0,
+                "credit overrun at t={now:?}"
+            );
+            assert!(
+                (p.iio_waiting_bytes - (p.iio_inserted_bytes - p.iio_admitted_bytes)).abs() < 64.0,
+                "IIO accounting drift at t={now:?}"
+            );
+        }
+        // Something actually flowed and dropped at 3x congestion.
+        let p = h.probe();
+        assert!(p.delivered_total > 0 && p.nic_drops_total > 0);
+        // Window reset leaves cumulative conservation intact.
+        h.reset_window();
+        let p = h.probe();
+        assert_eq!(
+            p.nic_arrivals_total,
+            p.nic_queued + p.iio_pending + p.delivered_total
+        );
     }
 
     #[test]

@@ -8,21 +8,59 @@ use hostcc_sim::Nanos;
 /// over 250 µs – 1 ms windows; the experiment harness records one sample per
 /// hostCC sampling interval and dumps the series both as CSV (for plotting)
 /// and as a terminal sparkline (for eyeballing in CI logs).
-#[derive(Debug, Clone, Default)]
+///
+/// A series built with [`TimeSeries::with_capacity`] bounds its memory by
+/// stride-doubling: once the buffer fills, every other retained point is
+/// dropped and the keep-stride doubles, so an arbitrarily long run keeps at
+/// most `max_points` samples while preserving the first and last point
+/// exactly.
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     name: String,
     times: Vec<Nanos>,
     values: Vec<f64>,
+    /// 0 means unbounded (the historical behaviour).
+    max_points: usize,
+    /// Keep every `stride`-th pushed sample once bounded.
+    stride: u64,
+    /// Total samples ever pushed (only tracked when bounded).
+    seen: u64,
+    /// The last buffered point is an off-stride "provisional" endpoint that
+    /// the next push will replace (it only survives if it stays last).
+    provisional: bool,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries::new("")
+    }
 }
 
 impl TimeSeries {
-    /// An empty, named series.
+    /// An empty, named, unbounded series.
     pub fn new(name: impl Into<String>) -> Self {
         TimeSeries {
             name: name.into(),
             times: Vec::new(),
             values: Vec::new(),
+            max_points: 0,
+            stride: 1,
+            seen: 0,
+            provisional: false,
         }
+    }
+
+    /// An empty, named series that retains at most `max_points` samples via
+    /// stride-doubling downsampling (`max_points == 0` means unbounded).
+    pub fn with_capacity(name: impl Into<String>, max_points: usize) -> Self {
+        let mut s = TimeSeries::new(name);
+        // A meaningful bound needs room for both endpoints.
+        s.max_points = if max_points == 0 {
+            0
+        } else {
+            max_points.max(2)
+        };
+        s
     }
 
     /// The series name (used as the CSV column header).
@@ -30,13 +68,61 @@ impl TimeSeries {
         &self.name
     }
 
+    /// The configured retention bound (0 = unbounded).
+    pub fn max_points(&self) -> usize {
+        self.max_points
+    }
+
     /// Append a sample. Samples must arrive in non-decreasing time order.
     pub fn push(&mut self, t: Nanos, v: f64) {
         if let Some(&last) = self.times.last() {
             debug_assert!(t >= last, "time series sample out of order");
         }
+        if self.max_points == 0 {
+            self.times.push(t);
+            self.values.push(v);
+            return;
+        }
+        // Drop the previous provisional endpoint: it is replaced by the
+        // newer sample (and re-kept below if it happens to be on-stride).
+        if self.provisional {
+            self.times.pop();
+            self.values.pop();
+            self.provisional = false;
+        }
+        let keep = self.seen.is_multiple_of(self.stride);
+        self.seen += 1;
         self.times.push(t);
         self.values.push(v);
+        self.provisional = !keep;
+        if keep && self.times.len() >= self.max_points {
+            self.halve();
+            // Halving keeps even indices; if the just-pushed point sat at an
+            // odd index it was dropped — restore it as the provisional end.
+            if self.times.last() != Some(&t) {
+                self.times.push(t);
+                self.values.push(v);
+                self.provisional = true;
+            }
+        }
+    }
+
+    /// Drop every other retained point (keeping index 0, hence the first
+    /// endpoint) and double the keep-stride.
+    fn halve(&mut self) {
+        let mut i = 0usize;
+        self.times.retain(|_| {
+            let keep = i.is_multiple_of(2);
+            i += 1;
+            keep
+        });
+        let mut j = 0usize;
+        self.values.retain(|_| {
+            let keep = j.is_multiple_of(2);
+            j += 1;
+            keep
+        });
+        self.stride = self.stride.saturating_mul(2);
     }
 
     /// Number of samples.
@@ -222,5 +308,53 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.mean(), None);
         assert_eq!(s.sparkline(10), "");
+    }
+
+    #[test]
+    fn bounded_series_stays_under_cap_and_preserves_endpoints() {
+        const N: u64 = 10_000_000;
+        const CAP: usize = 1024;
+        let mut s = TimeSeries::with_capacity("x", CAP);
+        for i in 0..N {
+            s.push(Nanos::from_nanos(i), i as f64);
+        }
+        assert!(s.len() <= CAP, "len {} exceeds cap {}", s.len(), CAP);
+        // Stride-doubling must still leave a usable resolution.
+        assert!(s.len() >= CAP / 4, "len {} collapsed too far", s.len());
+        let first = s.iter().next().unwrap();
+        let last = s.iter().last().unwrap();
+        assert_eq!(first, (Nanos::from_nanos(0), 0.0));
+        assert_eq!(last, (Nanos::from_nanos(N - 1), (N - 1) as f64));
+        // Samples stay in order and roughly uniform (a linear ramp keeps
+        // its mean under stride downsampling).
+        let mut prev = None;
+        for (t, _) in s.iter() {
+            if let Some(p) = prev {
+                assert!(t > p);
+            }
+            prev = Some(t);
+        }
+        let mid = (N - 1) as f64 / 2.0;
+        assert!((s.mean().unwrap() - mid).abs() / mid < 0.02);
+    }
+
+    #[test]
+    fn bounded_series_below_cap_keeps_everything() {
+        let mut s = TimeSeries::with_capacity("x", 100);
+        for i in 0..50u64 {
+            s.push(Nanos::from_nanos(i), i as f64);
+        }
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.iter().last(), Some((Nanos::from_nanos(49), 49.0)));
+    }
+
+    #[test]
+    fn unbounded_default_never_drops() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..10_000u64 {
+            s.push(Nanos::from_nanos(i), 0.0);
+        }
+        assert_eq!(s.len(), 10_000);
+        assert_eq!(s.max_points(), 0);
     }
 }

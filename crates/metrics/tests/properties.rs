@@ -108,3 +108,44 @@ proptest! {
         prop_assert!(d.max().unwrap() <= s.max().unwrap() + 1e-9);
     }
 }
+
+proptest! {
+    /// CDF merge is commutative: every quantile of a ⊕ b equals the same
+    /// quantile of b ⊕ a (the sweep joins per-worker CDFs in arbitrary
+    /// completion order).
+    #[test]
+    fn cdf_merge_is_commutative(
+        xs in prop::collection::vec(0u64..1_000_000, 0..100),
+        ys in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut a = Cdf::new();
+        let mut b = Cdf::new();
+        for &x in &xs { a.record(Nanos::from_nanos(x)); }
+        for &y in &ys { b.record(Nanos::from_nanos(y)); }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            prop_assert_eq!(ab.quantile(q), ba.quantile(q));
+        }
+    }
+
+    /// The empty CDF is a two-sided identity for merge.
+    #[test]
+    fn cdf_merge_identity(xs in prop::collection::vec(0u64..1_000_000, 0..100)) {
+        let mut a = Cdf::new();
+        for &x in &xs { a.record(Nanos::from_nanos(x)); }
+        let mut left = Cdf::new();
+        left.merge(&a);
+        let mut right = a.clone();
+        right.merge(&Cdf::new());
+        prop_assert_eq!(left.count(), a.count());
+        prop_assert_eq!(right.count(), a.count());
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            prop_assert_eq!(left.quantile(q), a.quantile(q));
+            prop_assert_eq!(right.quantile(q), a.quantile(q));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the trace crate.
+//!
+//! The sweep engine merges per-worker `TraceCounts` at join time and
+//! relies on the merge being order-independent for deterministic totals,
+//! so the algebraic laws are pinned here: commutativity, identity, and
+//! agreement with recording everything into a single tracer.
+
+use hostcc_sim::Nanos;
+use hostcc_trace::{DropLocus, TraceCounts, TraceEvent, TraceFilter, TraceKind, Tracer};
+use proptest::prelude::*;
+
+/// One representative event per [`TraceKind`], selected by index.
+fn event_of(idx: usize) -> TraceEvent {
+    match TraceKind::ALL[idx % TraceKind::COUNT] {
+        TraceKind::PcieStall => TraceEvent::PcieCreditStall { backlog_bytes: 64 },
+        TraceKind::PcieGrant => TraceEvent::PcieCreditGrant { stalled_ns: 100 },
+        TraceKind::IioOccupancy => TraceEvent::IioOccupancy { cachelines: 65.0 },
+        TraceKind::DdioEviction => TraceEvent::DdioEviction { fraction: 0.5 },
+        TraceKind::MbaRequest => TraceEvent::MbaRequest { level: 3 },
+        TraceKind::MbaEffective => TraceEvent::MbaEffective { level: 3 },
+        TraceKind::SignalSample => TraceEvent::SignalSample {
+            is: 65.0,
+            bs_gbps: 103.0,
+            read_ns: 600,
+        },
+        TraceKind::RegimeChange => TraceEvent::RegimeChange { regime: 2 },
+        TraceKind::EcnMark => TraceEvent::EcnMark {
+            flow: 0,
+            host: true,
+        },
+        TraceKind::PacketDrop => TraceEvent::PacketDrop {
+            flow: 0,
+            locus: DropLocus::Nic,
+        },
+        TraceKind::CcUpdate => TraceEvent::CcUpdate {
+            flow: 0,
+            cwnd_bytes: 15_000,
+        },
+        TraceKind::NicBacklog => TraceEvent::NicBacklog { bytes: 4096 },
+    }
+}
+
+/// Record one event per index through the public tracer path and return
+/// the resulting counts.
+fn counts_of(kinds: &[usize]) -> TraceCounts {
+    let mut tracer = Tracer::counting(TraceFilter::all());
+    for (i, &k) in kinds.iter().enumerate() {
+        tracer.record(Nanos::from_nanos(i as u64 * 100), event_of(k));
+    }
+    tracer.counts()
+}
+
+proptest! {
+    /// Merging counts is commutative: a ⊕ b == b ⊕ a, per kind and in
+    /// total — the order workers join in cannot change sweep totals.
+    #[test]
+    fn trace_counts_merge_is_commutative(
+        xs in prop::collection::vec(0usize..TraceKind::COUNT, 0..200),
+        ys in prop::collection::vec(0usize..TraceKind::COUNT, 0..200),
+    ) {
+        let (a, b) = (counts_of(&xs), counts_of(&ys));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab.total(), (xs.len() + ys.len()) as u64);
+    }
+
+    /// The empty counts are a two-sided identity for merge.
+    #[test]
+    fn trace_counts_merge_identity(
+        xs in prop::collection::vec(0usize..TraceKind::COUNT, 0..200),
+    ) {
+        let a = counts_of(&xs);
+        let mut left = TraceCounts::default();
+        left.merge(&a);
+        prop_assert_eq!(left, a);
+        let mut right = a;
+        right.merge(&TraceCounts::default());
+        prop_assert_eq!(right, a);
+    }
+
+    /// Merging per-worker counts equals counting every event in one
+    /// tracer — the parallel sweep sees exactly what a serial run would.
+    #[test]
+    fn trace_counts_merge_matches_single_tracer(
+        xs in prop::collection::vec(0usize..TraceKind::COUNT, 0..200),
+        ys in prop::collection::vec(0usize..TraceKind::COUNT, 0..200),
+    ) {
+        let mut merged = counts_of(&xs);
+        merged.merge(&counts_of(&ys));
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        let serial = counts_of(&all);
+        prop_assert_eq!(merged, serial);
+        for kind in TraceKind::ALL {
+            prop_assert_eq!(merged.of(kind), serial.of(kind));
+        }
+    }
+}

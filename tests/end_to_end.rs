@@ -207,8 +207,8 @@ fn claim_signals_are_accurate_in_time_and_value() {
     let r = quick(s);
     // Congested: I_S saturates near the credit limit.
     assert!(r.mean_is > 80.0, "mean I_S = {}", r.mean_is);
-    let rec = r.recording.unwrap();
-    assert!(rec.is_raw.max().unwrap() <= 93.0 + 1e-9);
+    let is_raw = r.series("core.signals.is_raw").unwrap();
+    assert!(is_raw.max().unwrap() <= 93.0 + 1e-9);
     // Uncongested: I_S near the 65-cacheline anchor.
     let mut s0 = Scenario::paper_baseline();
     s0.record = true;
