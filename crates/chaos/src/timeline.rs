@@ -1,0 +1,488 @@
+//! The chaos event taxonomy, the compact timeline grammar, and the named
+//! presets.
+//!
+//! # Grammar
+//!
+//! A timeline spec is a `;`-separated list of events. Each event is
+//!
+//! ```text
+//! <kind>@<start>[+<duration>][:<param>]...
+//! ```
+//!
+//! where `<start>` and `<duration>` are durations (`700ns`, `500us`,
+//! `2ms`, `1.5ms`, `1s`) and each `:<param>` is either a percentage
+//! (`50%` → magnitude 0.5), a bare number (magnitude), or another
+//! duration (sets the event duration — `degrade@5ms:50%:1ms` and
+//! `degrade@5ms:50%+1ms` are equivalent). Omitted fields fall back to the
+//! kind's defaults.
+
+use hostcc_sim::Nanos;
+
+/// The kinds of scheduled fault this subsystem can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// The sender links go fully down for the duration, then come back.
+    LinkFlap,
+    /// The sender links run at `magnitude × nominal rate` (a brownout).
+    LinkDegrade,
+    /// A storm of `magnitude` short PFC-style pauses: the sender links
+    /// alternate down/up over the event window.
+    PauseStorm,
+    /// Random loss at the fabric: each packet is dropped with probability
+    /// `magnitude` while the window is open.
+    BurstLoss,
+    /// MBA actuation stalls: pending level writes are deferred and new
+    /// writes take `magnitude ×` the nominal 22 µs latency.
+    MbaActuationStall,
+    /// MSR read jitter widens to `magnitude × mean` (signal-quality
+    /// attack on the hostCC sampler).
+    MsrReadJitter,
+    /// DDIO is toggled to the opposite setting, then restored.
+    DdioToggle,
+    /// The MApp aggressor surges by `magnitude` extra congestion degree.
+    AggressorBurst,
+    /// The host's ECN echo is suppressed (delivered packets are not
+    /// CE-marked) for the window.
+    EcnEchoOutage,
+}
+
+impl ChaosKind {
+    /// Every kind, in taxonomy order.
+    pub const ALL: [ChaosKind; 9] = [
+        ChaosKind::LinkFlap,
+        ChaosKind::LinkDegrade,
+        ChaosKind::PauseStorm,
+        ChaosKind::BurstLoss,
+        ChaosKind::MbaActuationStall,
+        ChaosKind::MsrReadJitter,
+        ChaosKind::DdioToggle,
+        ChaosKind::AggressorBurst,
+        ChaosKind::EcnEchoOutage,
+    ];
+
+    /// Stable spec-grammar name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosKind::LinkFlap => "flap",
+            ChaosKind::LinkDegrade => "degrade",
+            ChaosKind::PauseStorm => "pause",
+            ChaosKind::BurstLoss => "burstloss",
+            ChaosKind::MbaActuationStall => "mbastall",
+            ChaosKind::MsrReadJitter => "msrjitter",
+            ChaosKind::DdioToggle => "ddio",
+            ChaosKind::AggressorBurst => "aggressor",
+            ChaosKind::EcnEchoOutage => "echooutage",
+        }
+    }
+
+    /// Parse a kind name as printed by [`ChaosKind::name`].
+    pub fn parse(s: &str) -> Option<ChaosKind> {
+        ChaosKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// Default event duration when the spec omits one.
+    pub fn default_duration(self) -> Nanos {
+        match self {
+            ChaosKind::LinkFlap => Nanos::from_micros(500),
+            ChaosKind::LinkDegrade => Nanos::from_millis(1),
+            ChaosKind::PauseStorm => Nanos::from_micros(1500),
+            ChaosKind::BurstLoss => Nanos::from_micros(400),
+            ChaosKind::MbaActuationStall => Nanos::from_millis(2),
+            ChaosKind::MsrReadJitter => Nanos::from_millis(2),
+            ChaosKind::DdioToggle => Nanos::from_micros(1500),
+            ChaosKind::AggressorBurst => Nanos::from_millis(1),
+            ChaosKind::EcnEchoOutage => Nanos::from_micros(1500),
+        }
+    }
+
+    /// Default magnitude when the spec omits one. The unit is
+    /// kind-specific (rate fraction, drop probability, pulse count,
+    /// latency multiplier, jitter fraction, extra degree; unused for
+    /// flap/ddio/echo).
+    pub fn default_magnitude(self) -> f64 {
+        match self {
+            ChaosKind::LinkFlap => 0.0,
+            ChaosKind::LinkDegrade => 0.5,
+            ChaosKind::PauseStorm => 5.0,
+            ChaosKind::BurstLoss => 0.5,
+            ChaosKind::MbaActuationStall => 8.0,
+            ChaosKind::MsrReadJitter => 1.0,
+            ChaosKind::DdioToggle => 0.0,
+            ChaosKind::AggressorBurst => 2.0,
+            ChaosKind::EcnEchoOutage => 0.0,
+        }
+    }
+
+    /// Invariants (by watchdog name) this fault may *legitimately* bend
+    /// while its window is open. Violations inside such windows are
+    /// annotated in the [`crate::ResilienceReport`] rather than treated as
+    /// simulator defects; violations anywhere else always are defects.
+    pub fn may_violate(self) -> &'static [&'static str] {
+        match self {
+            // Flipping DDIO mid-run changes the eviction fraction between
+            // the admission computation and the byte accounting it is
+            // checked against, so the IIO identity may transiently miss
+            // by more than its epsilon.
+            ChaosKind::DdioToggle => &["iio_accounting"],
+            _ => &[],
+        }
+    }
+
+    fn validate_magnitude(self, m: f64) -> Result<(), String> {
+        let ok = match self {
+            ChaosKind::LinkDegrade => m > 0.0 && m <= 1.0,
+            ChaosKind::BurstLoss => (0.0..=1.0).contains(&m),
+            ChaosKind::PauseStorm => (1.0..=64.0).contains(&m),
+            ChaosKind::MbaActuationStall => (1.0..=1000.0).contains(&m),
+            ChaosKind::MsrReadJitter => (0.0..=1.0).contains(&m),
+            ChaosKind::AggressorBurst => (0.0..=16.0).contains(&m),
+            ChaosKind::LinkFlap | ChaosKind::DdioToggle | ChaosKind::EcnEchoOutage => true,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("magnitude {m} out of range for '{}'", self.name()))
+        }
+    }
+}
+
+/// One scheduled fault: a kind, a start time, a window, and a
+/// kind-specific magnitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosEvent {
+    /// What to inject.
+    pub kind: ChaosKind,
+    /// When the fault window opens (absolute simulated time).
+    pub start: Nanos,
+    /// How long the window stays open.
+    pub duration: Nanos,
+    /// Kind-specific magnitude (see [`ChaosKind::default_magnitude`]).
+    pub magnitude: f64,
+}
+
+impl ChaosEvent {
+    /// When the fault window closes.
+    pub fn end(&self) -> Nanos {
+        self.start + self.duration
+    }
+
+    /// The canonical spec encoding of this event — a pure function of the
+    /// parsed content (magnitude is encoded by its bit pattern), used both
+    /// for round-tripping and as the per-event RNG derivation key.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}@{}ns+{}ns:{:016x}",
+            self.kind.name(),
+            self.start.as_nanos(),
+            self.duration.as_nanos(),
+            self.magnitude.to_bits(),
+        )
+    }
+}
+
+/// Parse a duration literal: `<number><ns|us|ms|s>`.
+fn parse_duration(tok: &str) -> Result<Nanos, String> {
+    let (num, scale) = if let Some(v) = tok.strip_suffix("ns") {
+        (v, 1.0)
+    } else if let Some(v) = tok.strip_suffix("us") {
+        (v, 1e3)
+    } else if let Some(v) = tok.strip_suffix("ms") {
+        (v, 1e6)
+    } else if let Some(v) = tok.strip_suffix('s') {
+        (v, 1e9)
+    } else {
+        return Err(format!("'{tok}' has no duration unit (ns/us/ms/s)"));
+    };
+    let v: f64 = num
+        .parse()
+        .map_err(|_| format!("bad duration number '{num}'"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("negative or non-finite duration '{tok}'"));
+    }
+    Ok(Nanos::from_nanos((v * scale).round() as u64))
+}
+
+fn parse_event(spec: &str) -> Result<ChaosEvent, String> {
+    let (name, rest) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("event '{spec}' is missing '@<start>'"))?;
+    let kind = ChaosKind::parse(name).ok_or_else(|| {
+        format!(
+            "unknown chaos kind '{name}' (known: {})",
+            ChaosKind::ALL.map(ChaosKind::name).join(" ")
+        )
+    })?;
+    // Tokenize the tail: the first token is the start time; every later
+    // token is introduced by '+' (duration) or ':' (parameter).
+    let mut tokens: Vec<(char, String)> = Vec::new();
+    let mut sep = ' ';
+    let mut cur = String::new();
+    for c in rest.chars() {
+        if c == '+' || c == ':' {
+            tokens.push((sep, std::mem::take(&mut cur)));
+            sep = c;
+        } else {
+            cur.push(c);
+        }
+    }
+    tokens.push((sep, cur));
+    let start =
+        parse_duration(&tokens[0].1).map_err(|e| format!("event '{spec}': bad start time: {e}"))?;
+    let mut duration = kind.default_duration();
+    let mut magnitude = kind.default_magnitude();
+    for (sep, tok) in &tokens[1..] {
+        if tok.is_empty() {
+            return Err(format!("event '{spec}': empty token after '{sep}'"));
+        }
+        if *sep == '+' {
+            duration = parse_duration(tok).map_err(|e| format!("event '{spec}': {e}"))?;
+        } else if let Some(pct) = tok.strip_suffix('%') {
+            magnitude = pct
+                .parse::<f64>()
+                .map_err(|_| format!("event '{spec}': bad percentage '{tok}'"))?
+                / 100.0;
+        } else if let Ok(d) = parse_duration(tok) {
+            duration = d;
+        } else {
+            magnitude = tok.parse::<f64>().map_err(|_| {
+                format!("event '{spec}': '{tok}' is neither a number, a percentage, nor a duration")
+            })?;
+        }
+    }
+    if duration == Nanos::ZERO {
+        return Err(format!("event '{spec}': zero duration"));
+    }
+    kind.validate_magnitude(magnitude)
+        .map_err(|e| format!("event '{spec}': {e}"))?;
+    Ok(ChaosEvent {
+        kind,
+        start,
+        duration,
+        magnitude,
+    })
+}
+
+/// A full chaos schedule: a named, ordered list of [`ChaosEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosTimeline {
+    /// Preset name, or `"custom"` for parsed specs.
+    pub name: String,
+    /// The events, in spec order.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosTimeline {
+    /// Parse a `;`-separated timeline spec (see the module docs for the
+    /// grammar).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(format!("empty event in chaos spec '{spec}'"));
+            }
+            events.push(parse_event(part)?);
+        }
+        Ok(ChaosTimeline {
+            name: "custom".to_string(),
+            events,
+        })
+    }
+
+    /// The named presets: `(name, spec, description)`. Every preset lands
+    /// its events inside the measurement window of both the standard and
+    /// the `--quick` experiment budgets.
+    pub fn presets() -> &'static [(&'static str, &'static str, &'static str)] {
+        &[
+            (
+                "flap",
+                "flap@4500us+400us",
+                "single 400 us full link blackout",
+            ),
+            (
+                "double-flap",
+                "flap@4300us+300us;flap@5300us+300us",
+                "two 300 us blackouts 1 ms apart (recovery under repeat stress)",
+            ),
+            (
+                "brownout",
+                "degrade@4500us:30%:1ms",
+                "sender links at 30% rate for 1 ms",
+            ),
+            (
+                "pause-storm",
+                "pause@4500us+1200us:6",
+                "6 PFC-style pause pulses across 1.2 ms",
+            ),
+            (
+                "burst-loss",
+                "burstloss@4500us+500us:0.3",
+                "30% random fabric loss for 500 us",
+            ),
+            (
+                "mba-stall",
+                "mbastall@4200us+1500us:8",
+                "MBA actuation writes 8x slower for 1.5 ms",
+            ),
+            (
+                "msr-jitter",
+                "msrjitter@4200us+1500us:1.0",
+                "MSR read jitter widened to the full mean for 1.5 ms",
+            ),
+            (
+                "ddio-flip",
+                "ddio@4500us+1200us",
+                "DDIO toggled to the opposite setting for 1.2 ms",
+            ),
+            (
+                "aggressor-surge",
+                "aggressor@4500us+1ms:2.0",
+                "MApp aggressor degree +2x for 1 ms",
+            ),
+            (
+                "echo-outage",
+                "echooutage@4200us+1500us",
+                "host ECN echo suppressed for 1.5 ms",
+            ),
+        ]
+    }
+
+    /// Look up a named preset.
+    pub fn preset(name: &str) -> Option<Self> {
+        Self::presets()
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(n, spec, _)| ChaosTimeline {
+                name: n.to_string(),
+                ..Self::parse(spec).expect("presets always parse")
+            })
+    }
+
+    /// Resolve a preset name or an inline spec string.
+    pub fn resolve(s: &str) -> Result<Self, String> {
+        if let Some(t) = Self::preset(s) {
+            return Ok(t);
+        }
+        Self::parse(s).map_err(|e| {
+            format!(
+                "'{s}' is neither a chaos preset ({}) nor a valid spec: {e}",
+                Self::presets()
+                    .iter()
+                    .map(|(n, _, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+        })
+    }
+
+    /// The canonical spec string (stable across preset/spec spelling of
+    /// the same timeline); the RNG derivation key is built from this.
+    pub fn canonical(&self) -> String {
+        self.events
+            .iter()
+            .map(ChaosEvent::canonical)
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Last instant at which any event window is still open.
+    pub fn end(&self) -> Nanos {
+        self.events
+            .iter()
+            .map(ChaosEvent::end)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_examples_parse() {
+        let t = ChaosTimeline::parse("flap@2ms+500us;degrade@5ms:50%:1ms").unwrap();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[0].kind, ChaosKind::LinkFlap);
+        assert_eq!(t.events[0].start, Nanos::from_millis(2));
+        assert_eq!(t.events[0].duration, Nanos::from_micros(500));
+        assert_eq!(t.events[1].kind, ChaosKind::LinkDegrade);
+        assert_eq!(t.events[1].magnitude, 0.5);
+        assert_eq!(t.events[1].duration, Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn defaults_fill_omitted_fields() {
+        let t = ChaosTimeline::parse("burstloss@3ms").unwrap();
+        let e = t.events[0];
+        assert_eq!(e.duration, ChaosKind::BurstLoss.default_duration());
+        assert_eq!(e.magnitude, 0.5);
+    }
+
+    #[test]
+    fn fractional_durations_round_to_ns() {
+        let t = ChaosTimeline::parse("flap@1.5ms+0.25us").unwrap();
+        assert_eq!(t.events[0].start, Nanos::from_micros(1500));
+        assert_eq!(t.events[0].duration, Nanos::from_nanos(250));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_context() {
+        for (spec, needle) in [
+            ("zap@2ms", "unknown chaos kind"),
+            ("flap", "missing '@"),
+            ("flap@2", "no duration unit"),
+            ("flap@2ms;", "empty event"),
+            ("degrade@2ms:150%", "out of range"),
+            ("flap@2ms+0ns", "zero duration"),
+            ("burstloss@2ms:1.5", "out of range"),
+            ("pause@2ms:0.2", "out of range"),
+        ] {
+            let err = ChaosTimeline::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "spec '{spec}': {err}");
+        }
+    }
+
+    #[test]
+    fn every_preset_resolves_and_has_unique_name() {
+        let mut names = Vec::new();
+        for (name, spec, _) in ChaosTimeline::presets() {
+            let t = ChaosTimeline::resolve(name).unwrap();
+            assert_eq!(&t.name, name);
+            assert!(!t.events.is_empty());
+            assert_eq!(t.events, ChaosTimeline::parse(spec).unwrap().events);
+            assert!(!names.contains(name), "duplicate preset '{name}'");
+            // Axis values are comma-separated and key=value formatted, so
+            // preset names must stay free of both.
+            assert!(!name.contains(',') && !name.contains('='));
+            names.push(*name);
+        }
+        assert!(names.len() >= 8, "want ~8 presets, have {}", names.len());
+    }
+
+    #[test]
+    fn resolve_rejects_unknowns_listing_presets() {
+        let err = ChaosTimeline::resolve("not-a-preset").unwrap_err();
+        assert!(err.contains("flap"), "{err}");
+        assert!(err.contains("neither a chaos preset"), "{err}");
+    }
+
+    #[test]
+    fn canonical_is_stable_and_spelling_independent() {
+        let a = ChaosTimeline::parse("degrade@5ms:50%:1ms").unwrap();
+        let b = ChaosTimeline::parse("degrade@5000us:0.5+1000000ns").unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+        assert_ne!(
+            a.canonical(),
+            ChaosTimeline::parse("degrade@5ms:51%:1ms")
+                .unwrap()
+                .canonical()
+        );
+    }
+
+    #[test]
+    fn timeline_end_covers_all_windows() {
+        let t = ChaosTimeline::parse("flap@2ms+500us;degrade@5ms:50%:1ms").unwrap();
+        assert_eq!(t.end(), Nanos::from_millis(6));
+    }
+}

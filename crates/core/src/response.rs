@@ -193,6 +193,12 @@ impl HostCc {
         self.sampler.samples
     }
 
+    /// Mutable access to the sampler's MSR read model (chaos: jitter
+    /// perturbation on the monitoring path).
+    pub fn read_model_mut(&mut self) -> &mut hostcc_host::MsrReadModel {
+        self.sampler.read_model_mut()
+    }
+
     /// Whether host congestion is currently detected (`I_S > I_T`, or the
     /// smoothed NIC backlog above its threshold for the NIC-signal
     /// variant).

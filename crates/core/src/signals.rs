@@ -113,6 +113,14 @@ impl SignalSampler {
         now >= self.next_at
     }
 
+    /// Mutable access to the MSR read model (chaos: jitter perturbation).
+    /// Each sample draws exactly one RNG value per MSR read regardless of
+    /// the model parameters, so mutating and later restoring the model
+    /// leaves the RNG stream aligned.
+    pub fn read_model_mut(&mut self) -> &mut MsrReadModel {
+        &mut self.read_model
+    }
+
     /// Take a sample if one is due. Returns the new sample, or `None` if
     /// it is not time yet (or this is the priming read establishing the
     /// first counter snapshot).

@@ -10,6 +10,9 @@
 //! repro sweep [--quick] [--workers N] [--out DIR] [--telemetry]
 //!       [--strict-invariants] <preset | axis=v1,v2 ...>
 //! repro sweep --list
+//! repro chaos [--quick] [--workers N] [--strict-invariants] [--out DIR]
+//!       [--preset NAME | NAME|SPEC ...]
+//! repro chaos --list
 //! ```
 //!
 //! Every run is deterministic; `--quick` uses short measurement windows
@@ -40,14 +43,26 @@
 //! With `--telemetry` each cell also carries a telemetry fingerprint in the
 //! manifest, and `--strict-invariants` fails the whole sweep on the first
 //! violating cell.
+//!
+//! `repro chaos` runs a fault timeline (a preset from `repro chaos --list`
+//! or an inline spec like `flap@4500us+400us`) through the differential
+//! resilience harness: paired hostCC-off/on runs under the identical
+//! timeline, scored into a per-preset report (throughput dip, recovery
+//! time, tail latency, watchdog attribution). `--out DIR` writes one
+//! `<preset>.report.json` per timeline — deterministic JSON, byte-identical
+//! at any `--workers` count. The exit code is nonzero when any arm saw a
+//! watchdog violation outside an annotated fault window (with
+//! `--strict-invariants`, any violation at all).
 
 use std::io::Write;
 use std::process::ExitCode;
 
+use hostcc_chaos::ChaosTimeline;
 use hostcc_experiments::figures::{self, Budget, FigureReport};
 use hostcc_experiments::grid::GridSpec;
+use hostcc_experiments::resilience::run_chaos;
 use hostcc_experiments::sweep::{run_sweep, SweepOptions};
-use hostcc_experiments::{Scenario, Simulation};
+use hostcc_experiments::{known_metrics, unknown_telemetry_prefixes, Scenario, Simulation};
 use hostcc_sim::Nanos;
 use hostcc_telemetry::{
     prometheus_text, summary_json, to_jsonl, wide_csv, Telemetry, TelemetryConfig, TelemetryFilter,
@@ -96,6 +111,7 @@ fn usage() -> ExitCode {
          [--telemetry-out DIR] [--strict-invariants] <target>..."
     );
     eprintln!("       repro sweep [--quick] [--workers N] [--out DIR] <preset | axis=v1,v2 ...>");
+    eprintln!("       repro chaos [--quick] [--workers N] [--out DIR] [--preset NAME | SPEC ...]");
     eprintln!("figures: all {}", valid_figures().join(" "));
     eprintln!("scenarios: {}", valid_scenarios().join(" "));
     eprintln!(
@@ -313,7 +329,7 @@ fn sweep_usage() -> ExitCode {
     for (name, desc) in GridSpec::presets() {
         eprintln!("  {name:<12} {desc}");
     }
-    eprintln!("axes: ddio hostcc bt it level cc degree flows incast mtu ecn_kb drop seed");
+    eprintln!("axes: ddio hostcc bt it level cc degree flows incast mtu ecn_kb drop chaos seed");
     ExitCode::FAILURE
 }
 
@@ -366,7 +382,8 @@ fn sweep_main(args: &[String]) -> ExitCode {
                     println!("  {name:<12} {desc}");
                 }
                 println!(
-                    "axes: ddio hostcc bt it level cc degree flows incast mtu ecn_kb drop seed"
+                    "axes: ddio hostcc bt it level cc degree flows incast mtu ecn_kb drop \
+                     chaos seed"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -426,10 +443,129 @@ fn sweep_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn chaos_usage() -> ExitCode {
+    eprintln!(
+        "usage: repro chaos [--quick] [--workers N] [--strict-invariants] [--out DIR] \
+         [--preset NAME | NAME|SPEC ...]"
+    );
+    eprintln!("       repro chaos --list");
+    eprintln!("presets:");
+    for (name, spec, desc) in ChaosTimeline::presets() {
+        eprintln!("  {name:<16} {desc}  ({spec})");
+    }
+    ExitCode::FAILURE
+}
+
+fn chaos_main(args: &[String]) -> ExitCode {
+    let mut budget = Budget::standard();
+    let mut workers = 2usize;
+    let mut strict = false;
+    let mut out_dir: Option<String> = None;
+    let mut specs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => budget = Budget::quick(),
+            "--strict-invariants" => strict = true,
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => workers = n,
+                    None => {
+                        eprintln!("--workers needs a number");
+                        return chaos_usage();
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = Some(dir.clone()),
+                    None => return chaos_usage(),
+                }
+            }
+            "--preset" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => specs.push(name.clone()),
+                    None => return chaos_usage(),
+                }
+            }
+            "--list" => {
+                println!("presets:");
+                for (name, spec, desc) in ChaosTimeline::presets() {
+                    println!("  {name:<16} {desc}  ({spec})");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return chaos_usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                return chaos_usage();
+            }
+            positional => specs.push(positional.to_string()),
+        }
+        i += 1;
+    }
+    if specs.is_empty() {
+        // No timeline named: run the whole preset catalog.
+        specs = ChaosTimeline::presets()
+            .iter()
+            .map(|(n, _, _)| n.to_string())
+            .collect();
+    }
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut failed = false;
+    for spec in &specs {
+        let report = match run_chaos(spec, &budget, workers) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("chaos '{spec}': {e}");
+                failed = true;
+                continue;
+            }
+        };
+        print!("{}", report.render());
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{}.report.json", sanitize(spec));
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("[wrote {path}]");
+        }
+        if let Err(e) = report.verdict() {
+            eprintln!("chaos '{spec}': {e}");
+            failed = true;
+        }
+        let total = report.off.violations + report.on.violations;
+        if strict && total > 0 {
+            eprintln!(
+                "chaos '{spec}': strict invariants: {total} violation(s), annotated included"
+            );
+            failed = true;
+        }
+        println!();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("sweep") {
         return sweep_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("chaos") {
+        return chaos_main(&raw[1..]);
     }
     let mut budget = Budget::standard();
     let mut targets: Vec<String> = Vec::new();
@@ -479,7 +615,18 @@ fn main() -> ExitCode {
             "--telemetry-filter" => {
                 telemetry_on = true;
                 match args.next().map(|s| TelemetryFilter::parse(&s)) {
-                    Some(Ok(f)) => telemetry_cfg.filter = f,
+                    Some(Ok(f)) => {
+                        let unknown = unknown_telemetry_prefixes(&f);
+                        if !unknown.is_empty() {
+                            eprintln!(
+                                "--telemetry-filter: no known metrics under prefix(es): {}",
+                                unknown.join(", ")
+                            );
+                            eprintln!("known metrics: {}", known_metrics().join(" "));
+                            return ExitCode::FAILURE;
+                        }
+                        telemetry_cfg.filter = f;
+                    }
                     Some(Err(e)) => {
                         eprintln!("bad --telemetry-filter: {e}");
                         return usage();

@@ -123,6 +123,9 @@ pub struct GridSpec {
     pub ecn_kb: Vec<u64>,
     /// Fault-injection drop probability on the sender→switch link.
     pub drop_chance: Vec<f64>,
+    /// Chaos timeline per cell: a preset name or spec string from
+    /// [`hostcc_chaos::ChaosTimeline`], or `off` for no chaos.
+    pub chaos: Vec<String>,
     /// Base RNG seeds (replicates; each is mixed per-cell, see
     /// [`derive_cell_seed`]).
     pub seed: Vec<u64>,
@@ -164,6 +167,7 @@ impl GridSpec {
             mtu: Vec::new(),
             ecn_kb: Vec::new(),
             drop_chance: Vec::new(),
+            chaos: Vec::new(),
             seed: Vec::new(),
         }
     }
@@ -200,6 +204,10 @@ impl GridSpec {
                 "16 cells: ddio x hostcc x degree (Fig 2+10+14 superset)",
             ),
             ("faults", "8 cells: hostcc x link drop probability at 3x"),
+            (
+                "chaos",
+                "8 cells: hostcc x chaos timeline (off/flap/brownout/burst-loss) at 3x",
+            ),
         ]
     }
 
@@ -294,6 +302,15 @@ impl GridSpec {
                 g.drop_chance = vec![0.0, 1e-5, 1e-4, 1e-3];
                 g
             }
+            "chaos" => {
+                let mut g = GridSpec::new(name, base3);
+                g.hostcc = vec![false, true];
+                g.chaos = ["off", "flap", "brownout", "burst-loss"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                g
+            }
             _ => return None,
         };
         g.name = name.to_string();
@@ -344,11 +361,20 @@ impl GridSpec {
             "mtu" => split(values, str::parse::<u64>).map(|v| self.mtu = v),
             "ecn_kb" => split(values, str::parse::<u64>).map(|v| self.ecn_kb = v),
             "drop" => split(values, str::parse::<f64>).map(|v| self.drop_chance = v),
+            "chaos" => split(values, |v: &str| {
+                if v == "off" {
+                    return Ok(v.to_string());
+                }
+                hostcc_chaos::ChaosTimeline::resolve(v)
+                    .map(|_| v.to_string())
+                    .map_err(|e| format!("{e} (or use 'off')"))
+            })
+            .map(|v| self.chaos = v),
             "seed" => split(values, str::parse::<u64>).map(|v| self.seed = v),
             _ => {
                 return Err(format!(
                     "unknown axis '{axis}' (known: ddio hostcc bt it level cc degree \
-                     flows incast mtu ecn_kb drop seed)"
+                     flows incast mtu ecn_kb drop chaos seed)"
                 ))
             }
         };
@@ -521,6 +547,20 @@ impl GridSpec {
                     let f: Box<dyn Fn(&mut Scenario)> =
                         Box::new(move |s: &mut Scenario| s.fault.drop_chance = v);
                     (fmt_f64(v), f)
+                })
+                .collect(),
+        );
+        push(
+            "chaos",
+            self.chaos
+                .iter()
+                .map(|v| {
+                    let v = v.clone();
+                    let label = v.clone();
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        s.chaos = (v != "off").then(|| v.clone());
+                    });
+                    (label, f)
                 })
                 .collect(),
         );
@@ -737,6 +777,43 @@ mod tests {
         let mut g = GridSpec::new("big", Scenario::paper_baseline());
         g.seed = (0..70_000).collect();
         assert!(g.expand().is_err(), "cell cap");
+    }
+
+    #[test]
+    fn chaos_axis_reaches_the_scenario() {
+        let mut g = GridSpec::new("c", Scenario::paper_baseline());
+        g.set_axis("chaos", "off,flap,degrade@5ms:50%:1ms").unwrap();
+        let cells = g.expand().unwrap();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].scenario.chaos, None);
+        assert_eq!(cells[1].scenario.chaos.as_deref(), Some("flap"));
+        assert_eq!(
+            cells[2].scenario.chaos.as_deref(),
+            Some("degrade@5ms:50%:1ms")
+        );
+        assert_eq!(cells[1].key, "chaos=flap");
+        // Bad specs are rejected at axis-parse time, not deep in a worker.
+        let err = g.set_axis("chaos", "zap@2ms").unwrap_err();
+        assert!(err.contains("off"), "{err}");
+    }
+
+    #[test]
+    fn chaos_event_seeds_share_the_cell_seed_derivation() {
+        // The chaos crate pins its per-event stream derivation to the same
+        // FNV-1a + SplitMix64 scheme as the sweep's per-cell seeds; if one
+        // side changes, replayability claims break silently. Lock them
+        // together here, at the only crate that sees both.
+        for (seed, key) in [
+            (0u64, "chaos[0]:flap@4500000+400000"),
+            (42, "ddio=off hostcc=on degree=3"),
+            (0xdead_beef, ""),
+        ] {
+            assert_eq!(
+                hostcc_chaos::derive_event_seed(seed, key),
+                derive_cell_seed(seed, key),
+                "seed derivations diverged for {key:?}"
+            );
+        }
     }
 
     #[test]

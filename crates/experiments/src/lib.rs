@@ -10,6 +10,8 @@
 //! * [`sweep`] — the parallel, deterministic sweep engine: runs grid
 //!   cells across a work-stealing worker pool with bit-identical results
 //!   at any worker count, aggregated into a JSON/CSV manifest.
+//! * [`resilience`] — the differential chaos harness: one fault timeline,
+//!   paired hostCC-off/on arms, scored into a `ResilienceReport`.
 //! * [`figures`] — `fig2()` … `fig19()`, each returning printable tables
 //!   that mirror the paper's panels (the throughput figures run on the
 //!   sweep engine).
@@ -49,6 +51,7 @@
 
 pub mod figures;
 pub mod grid;
+pub mod resilience;
 mod result;
 mod scenario;
 mod sim;
@@ -56,4 +59,4 @@ pub mod sweep;
 
 pub use result::{RpcResult, RunResult};
 pub use scenario::{CcKind, Scenario};
-pub use sim::Simulation;
+pub use sim::{known_metrics, unknown_telemetry_prefixes, Simulation};

@@ -111,6 +111,11 @@ pub struct Scenario {
     pub record: bool,
     /// Fabric fault injection (robustness tests; off for paper figures).
     pub fault: FaultConfig,
+    /// Chaos timeline: a preset name or compact spec string resolved by
+    /// `hostcc_chaos::ChaosTimeline::resolve` (None = no injected faults).
+    /// Kept as the raw string so grid cell keys — and hence per-cell RNG
+    /// seeds — stay purely textual.
+    pub chaos: Option<String>,
 }
 
 impl Scenario {
@@ -143,6 +148,7 @@ impl Scenario {
             measure: Nanos::from_millis(10),
             record: false,
             fault: FaultConfig::none(),
+            chaos: None,
         }
     }
 
@@ -208,6 +214,13 @@ impl Scenario {
         self
     }
 
+    /// Attach a chaos timeline (a preset name or a compact spec string —
+    /// see `hostcc_chaos::ChaosTimeline::resolve`).
+    pub fn with_chaos(mut self, spec: &str) -> Self {
+        self.chaos = Some(spec.to_string());
+        self
+    }
+
     /// Attach the NetApp-L RPC workload (Fig 4/12/15).
     pub fn with_rpc(mut self, clients: usize) -> Self {
         self.rpc = Some(RpcConfig::default());
@@ -235,6 +248,11 @@ impl Scenario {
             self.forced_mba_level.is_none() || self.hostcc.is_none(),
             "a forced MBA level conflicts with an active hostCC controller"
         );
+        if let Some(spec) = &self.chaos {
+            if let Err(e) = hostcc_chaos::ChaosTimeline::resolve(spec) {
+                panic!("invalid chaos spec: {e}");
+            }
+        }
         self.host.validate();
     }
 
@@ -260,6 +278,22 @@ mod tests {
         Scenario::paper_baseline()
             .enable_ddio()
             .enable_hostcc()
+            .validate();
+    }
+
+    #[test]
+    fn chaos_specs_validate() {
+        Scenario::with_congestion(3.0).with_chaos("flap").validate();
+        Scenario::with_congestion(3.0)
+            .with_chaos("degrade@5ms:50%:1ms")
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid chaos spec")]
+    fn bad_chaos_spec_rejected() {
+        Scenario::with_congestion(3.0)
+            .with_chaos("zap@2ms")
             .validate();
     }
 

@@ -13,6 +13,7 @@
 //!   reverse delay) → Flow.on_ack
 //! ```
 
+use hostcc_chaos::{ChaosDriver, ChaosKind, ChaosPhase, ChaosTimeline};
 use hostcc_core::{EcnEcho, HostCc, Sample, SignalConfig, SignalSampler, TargetPolicy};
 use hostcc_fabric::{
     Departure, EnqueueOutcome, FaultInjector, FaultOutcome, FlowId, FqLink, Packet, SwitchPort,
@@ -47,6 +48,59 @@ enum Ev {
         rwnd: u64,
         sack: [Option<(u64, u64)>; 3],
     },
+    /// A chaos-timeline injection fires (index into the driver's schedule).
+    Chaos { inj: u32 },
+}
+
+/// Runtime state of a compiled chaos timeline: the driver plus per-event
+/// saved values so every fault window restores exactly what it perturbed.
+/// Overlapping windows of the same kind compose (down-counts, magnitude
+/// products, per-event save slots) rather than clobbering each other.
+struct ChaosRt {
+    driver: ChaosDriver,
+    /// Open link-down windows (flap and pause pulses may overlap).
+    link_down: u32,
+    /// Magnitudes of the open degrade windows; the sender link rate is
+    /// nominal × their product.
+    degrades: Vec<f64>,
+    /// Open loss bursts: (event index, dedicated RNG stream, drop chance).
+    bursts: Vec<(usize, Rng, f64)>,
+    /// Saved MBA write latency per mbastall event.
+    saved_mba: Vec<Option<Nanos>>,
+    /// Saved (monitor jitter, hostCC jitter) per msrjitter event.
+    saved_jitter: Vec<Option<(Nanos, Option<Nanos>)>>,
+    /// Saved DDIO enable per ddio event.
+    saved_ddio: Vec<Option<bool>>,
+    /// Extra MApp degree currently injected by open aggressor windows.
+    aggressor_boost: f64,
+    /// Open echo-outage windows (receiver ECN echo suppressed while > 0).
+    echo_outage: u32,
+    /// Fault windows currently open (telemetry gauge).
+    open: u32,
+    /// Injections fired so far (telemetry counter).
+    fired: u64,
+    /// Packets dropped by burst-loss windows (telemetry counter).
+    drops: u64,
+}
+
+impl ChaosRt {
+    fn new(driver: ChaosDriver) -> Self {
+        let n = driver.timeline().events.len();
+        ChaosRt {
+            driver,
+            link_down: 0,
+            degrades: Vec::new(),
+            bursts: Vec::new(),
+            saved_mba: vec![None; n],
+            saved_jitter: vec![None; n],
+            saved_ddio: vec![None; n],
+            aggressor_boost: 0.0,
+            echo_outage: 0,
+            open: 0,
+            fired: 0,
+            drops: 0,
+        }
+    }
 }
 
 /// The assembled simulation.
@@ -79,6 +133,8 @@ pub struct Simulation {
     rpcs: Vec<(usize, RpcClient)>,
     fault: FaultInjector,
     corrupt_drops: u64,
+    /// Compiled chaos timeline, if the scenario carries one.
+    chaos: Option<ChaosRt>,
 
     // Window accounting.
     flow_goodput: Vec<u64>,
@@ -240,8 +296,22 @@ impl Simulation {
         };
         let tick = cfg.host.tick;
 
+        // Compile the chaos timeline and schedule every injection up front:
+        // the schedule depends only on the scenario (spec text + seed), so
+        // chaos runs are bit-identical at any sweep worker count.
+        let chaos = cfg.chaos.as_ref().map(|spec| {
+            let tl = ChaosTimeline::resolve(spec).expect("scenario validated the chaos spec");
+            ChaosRt::new(ChaosDriver::new(tl, cfg.seed))
+        });
+        let mut q = EventQueue::new();
+        if let Some(c) = &chaos {
+            for (i, inj) in c.driver.injections().iter().enumerate() {
+                q.schedule(inj.at, Ev::Chaos { inj: i as u32 });
+            }
+        }
+
         Simulation {
-            q: EventQueue::new(),
+            q,
             senders,
             tx_host,
             tx_hostcc,
@@ -258,6 +328,7 @@ impl Simulation {
             rpcs,
             fault,
             corrupt_drops: 0,
+            chaos,
             flow_goodput: vec![0; n_flows],
             copied_carry: 0.0,
             last_advertised_rwnd: vec![u64::MAX; n_flows],
@@ -398,6 +469,25 @@ impl Simulation {
                 }
             }
             Ev::ArriveSwitch { mut pkt } => {
+                // Burst-loss chaos windows: every open burst draws for every
+                // packet (streams stay aligned however the other bursts
+                // land); any hit drops the packet before the switch.
+                if let Some(c) = &mut self.chaos {
+                    let mut hit = false;
+                    for (_, rng, p) in &mut c.bursts {
+                        if rng.chance(*p) {
+                            hit = true;
+                        }
+                    }
+                    if hit {
+                        c.drops += 1;
+                        self.trace.emit(now, || TraceEvent::PacketDrop {
+                            flow: pkt.flow.0,
+                            locus: DropLocus::Fault,
+                        });
+                        return;
+                    }
+                }
                 match self.fault.apply() {
                     FaultOutcome::Drop => {
                         self.trace.emit(now, || TraceEvent::PacketDrop {
@@ -476,7 +566,136 @@ impl Simulation {
                 self.flows[idx].on_ack_sack(now, cum, ece, rwnd, &sack);
                 self.pump_flow(idx, now);
             }
+            Ev::Chaos { inj } => self.handle_chaos(now, inj as usize),
         }
+    }
+
+    /// Apply one chaos injection (a fault window opening or closing).
+    fn handle_chaos(&mut self, now: Nanos, idx: usize) {
+        let Some(mut c) = self.chaos.take() else {
+            return;
+        };
+        let inj = c.driver.injections()[idx];
+        let ev = *c.driver.event(inj.event);
+        let start = matches!(inj.phase, ChaosPhase::Start);
+        self.trace.emit(now, || TraceEvent::ChaosInject {
+            index: inj.event as u32,
+            start,
+        });
+        c.fired += 1;
+        if start {
+            c.open += 1;
+        } else {
+            c.open -= 1;
+        }
+        match ev.kind {
+            // Flaps and pause pulses both take every sender link down; the
+            // in-flight packet departs normally, arrivals queue behind it.
+            ChaosKind::LinkFlap | ChaosKind::PauseStorm => {
+                if start {
+                    if c.link_down == 0 {
+                        for l in &mut self.senders {
+                            l.set_down();
+                        }
+                    }
+                    c.link_down += 1;
+                } else {
+                    c.link_down -= 1;
+                    if c.link_down == 0 {
+                        for s in 0..self.senders.len() {
+                            if let Some(Departure { at, pkt }) = self.senders[s].kick(now) {
+                                self.q.schedule(at, Ev::Depart { sender: s, pkt });
+                            }
+                        }
+                    }
+                }
+            }
+            ChaosKind::LinkDegrade => {
+                if start {
+                    c.degrades.push(ev.magnitude);
+                } else if let Some(p) = c.degrades.iter().position(|&m| m == ev.magnitude) {
+                    c.degrades.remove(p);
+                }
+                let scale: f64 = c.degrades.iter().product();
+                let rate = Rate::gbps(100.0 * scale);
+                for l in &mut self.senders {
+                    l.set_rate(rate);
+                }
+            }
+            ChaosKind::BurstLoss => {
+                if start {
+                    let rng = Rng::new(c.driver.event_seed(inj.event));
+                    c.bursts.push((inj.event, rng, ev.magnitude));
+                } else {
+                    c.bursts.retain(|(e, _, _)| *e != inj.event);
+                }
+            }
+            ChaosKind::MbaActuationStall => {
+                let mba = self.rx.mba_mut();
+                if start {
+                    let saved = mba.write_latency();
+                    c.saved_mba[inj.event] = Some(saved);
+                    let stalled = saved.scale(ev.magnitude);
+                    mba.set_write_latency(stalled);
+                    mba.defer_pending(stalled.saturating_sub(saved));
+                } else if let Some(saved) = c.saved_mba[inj.event].take() {
+                    mba.set_write_latency(saved);
+                }
+            }
+            ChaosKind::MsrReadJitter => {
+                if start {
+                    let mon = self.monitor.read_model_mut();
+                    let saved_mon = mon.jitter();
+                    let mean = mon.mean();
+                    mon.set_jitter(mean.scale(ev.magnitude));
+                    let saved_hc = self.hostcc.as_mut().map(|hc| {
+                        let m = hc.read_model_mut();
+                        let saved = m.jitter();
+                        let mean = m.mean();
+                        m.set_jitter(mean.scale(ev.magnitude));
+                        saved
+                    });
+                    c.saved_jitter[inj.event] = Some((saved_mon, saved_hc));
+                } else if let Some((mon_j, hc_j)) = c.saved_jitter[inj.event].take() {
+                    self.monitor.read_model_mut().set_jitter(mon_j);
+                    if let (Some(hc), Some(j)) = (self.hostcc.as_mut(), hc_j) {
+                        hc.read_model_mut().set_jitter(j);
+                    }
+                }
+            }
+            ChaosKind::DdioToggle => {
+                if start {
+                    let cur = self.rx.ddio_enabled();
+                    c.saved_ddio[inj.event] = Some(cur);
+                    self.rx.set_ddio_enabled(!cur);
+                } else if let Some(saved) = c.saved_ddio[inj.event].take() {
+                    self.rx.set_ddio_enabled(saved);
+                }
+            }
+            ChaosKind::AggressorBurst => {
+                if start {
+                    c.aggressor_boost += ev.magnitude;
+                    if self.mapp_started {
+                        let d = self.rx.mapp().degree();
+                        self.rx.mapp_mut().set_degree(d + ev.magnitude);
+                    }
+                } else {
+                    c.aggressor_boost -= ev.magnitude;
+                    if self.mapp_started {
+                        let d = self.rx.mapp().degree();
+                        self.rx.mapp_mut().set_degree((d - ev.magnitude).max(0.0));
+                    }
+                }
+            }
+            ChaosKind::EcnEchoOutage => {
+                if start {
+                    c.echo_outage += 1;
+                } else {
+                    c.echo_outage -= 1;
+                }
+            }
+        }
+        self.chaos = Some(c);
     }
 
     fn pump_flow(&mut self, idx: usize, now: Nanos) {
@@ -496,9 +715,10 @@ impl Simulation {
     }
 
     fn tick(&mut self, now: Nanos) {
-        // MApp onset.
+        // MApp onset (plus whatever aggressor chaos windows are open).
         if !self.mapp_started && now >= self.cfg.mapp_start {
-            self.rx.mapp_mut().set_degree(self.cfg.mapp_degree);
+            let boost = self.chaos.as_ref().map_or(0.0, |c| c.aggressor_boost);
+            self.rx.mapp_mut().set_degree(self.cfg.mapp_degree + boost);
             self.mapp_started = true;
         }
         // Network demand ending (policy-layer studies).
@@ -540,6 +760,9 @@ impl Simulation {
         } else {
             false
         };
+        // An echo-outage chaos window silences the receiver-side marking
+        // path (the controller keeps running; only the echo is lost).
+        let mark = mark && self.chaos.as_ref().is_none_or(|c| c.echo_outage == 0);
 
         // 3. Deliveries: receiver-side ECN echo, then up the stack.
         for d in out.delivered {
@@ -664,6 +887,15 @@ impl Simulation {
             .unwrap_or(0.0);
         let signal = self.last_signal;
         let ecn_marks = self.echo.host_marks + self.switch.marks();
+        let fault_counts = (
+            self.fault.drops(),
+            self.fault.corruptions(),
+            self.fault.passed(),
+        );
+        let chaos_counts = self
+            .chaos
+            .as_ref()
+            .map(|c| (c.fired, c.drops, c.open as f64));
         // The first few flows are interesting individually (Fig 8's
         // convergence view); beyond that per-flow series are noise.
         let flow_rates: Vec<(usize, f64)> = self
@@ -718,6 +950,14 @@ impl Simulation {
             reg.counter_set("host.nic.arrivals", probe.nic_arrivals_total);
             reg.counter_set("host.nic.drops", probe.nic_drops_total);
             reg.counter_set("core.echo.ecn_marks", ecn_marks);
+            reg.counter_set("fabric.fault.drops", fault_counts.0);
+            reg.counter_set("fabric.fault.corruptions", fault_counts.1);
+            reg.counter_set("fabric.fault.passed", fault_counts.2);
+            if let Some((fired, drops, open)) = chaos_counts {
+                reg.counter_set("chaos.injections", fired);
+                reg.counter_set("chaos.drops", drops);
+                reg.gauge_set("chaos.active_windows", open);
+            }
             t.check_and_sample(now, &input);
         });
     }
@@ -851,6 +1091,74 @@ impl Simulation {
             trace: self.trace.counts(),
         }
     }
+}
+
+/// Every metric the simulation (and its telemetry pipeline) can register,
+/// as dotted-name *families*: a concrete metric belongs to a family when it
+/// equals the family name or extends it by whole dotted components
+/// (`transport.flow` covers `transport.flow.3.rate_gbps`,
+/// `watchdog.violations` covers `watchdog.violations.pcie_credits`). This
+/// is the vocabulary `repro` validates `--telemetry-filter` prefixes
+/// against; `sim::tests` pins it to what a recorded run actually registers.
+pub fn known_metrics() -> &'static [&'static str] {
+    &[
+        "chaos.active_windows",
+        "chaos.drops",
+        "chaos.injections",
+        "core.echo.ecn_marks",
+        "core.signals.is_ewma",
+        "core.signals.is_raw",
+        "core.signals.read_latency_ns",
+        "fabric.fault.corruptions",
+        "fabric.fault.drops",
+        "fabric.fault.passed",
+        "host.copy.backlog_bytes",
+        "host.ddio.eviction_fraction",
+        "host.iio.occupancy_bytes",
+        "host.mba.level",
+        "host.mba.level_effective",
+        "host.memctrl.utilization",
+        "host.nic.arrivals",
+        "host.nic.backlog_bytes",
+        "host.nic.drops",
+        "host.pcie.bw_gbps",
+        "host.pcie.credits_avail",
+        "host.pcie.inflight_bytes",
+        "transport.flow",
+        "watchdog.checks",
+        "watchdog.violations",
+        "watchdog.violations_running",
+    ]
+}
+
+/// `short` names `long` or a dotted ancestor of it.
+fn component_prefix(short: &str, long: &str) -> bool {
+    long == short
+        || (long.len() > short.len()
+            && long.starts_with(short)
+            && long.as_bytes()[short.len()] == b'.')
+}
+
+/// The filter prefixes that select no metric in [`known_metrics`] — either
+/// side of the match may be the componentwise ancestor, so both `host`
+/// (covers several families) and `transport.flow.3.rate_gbps` (inside the
+/// `transport.flow` family) are fine, while `host.gpu` is flagged. Empty
+/// for a match-everything filter.
+pub fn unknown_telemetry_prefixes(filter: &hostcc_telemetry::TelemetryFilter) -> Vec<String> {
+    filter
+        .prefixes()
+        .map(|prefixes| {
+            prefixes
+                .iter()
+                .filter(|p| {
+                    !known_metrics()
+                        .iter()
+                        .any(|m| component_prefix(p, m) || component_prefix(m, p))
+                })
+                .cloned()
+                .collect()
+        })
+        .unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -990,6 +1298,100 @@ mod tests {
         assert!(t.series.contains_key("host.pcie.bw_gbps"));
         assert!(t.series.contains_key("host.mba.level"));
         assert_eq!(t.summary.total_violations(), 0, "{:?}", t.diagnostic);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let a = quick(Scenario::with_congestion(2.0).with_chaos("burst-loss"));
+        let b = quick(Scenario::with_congestion(2.0).with_chaos("burst-loss"));
+        assert_eq!(a.goodput.as_gbps(), b.goodput.as_gbps());
+        assert_eq!(a.data_packets, b.data_packets);
+        assert_eq!(a.drop_rate_pct, b.drop_rate_pct);
+    }
+
+    #[test]
+    fn chaos_flap_dips_goodput_without_breaking_invariants() {
+        let base = quick(Scenario::with_congestion(2.0));
+        let mut s = Scenario::with_congestion(2.0).with_chaos("flap");
+        s.record = true;
+        let r = quick(s);
+        // 400 µs of dead link inside a 4 ms window costs ≈ 10 % goodput.
+        assert!(
+            r.goodput_gbps() < base.goodput_gbps() - 1.0,
+            "flap: {:.1} vs base {:.1} Gbps",
+            r.goodput_gbps(),
+            base.goodput_gbps()
+        );
+        let t = r.telemetry.expect("record=true");
+        assert_eq!(t.summary.total_violations(), 0, "{:?}", t.diagnostic);
+        assert_eq!(t.summary.counters["chaos.injections"], 2);
+    }
+
+    #[test]
+    fn chaos_injections_are_traced() {
+        use hostcc_trace::TraceKind;
+        let r = quick_traced(Scenario::with_congestion(2.0).with_chaos("double-flap"));
+        let counts = r.trace.expect("tracing was enabled");
+        // Two flaps × (start + end).
+        assert_eq!(counts.of(TraceKind::ChaosInject), 4);
+    }
+
+    #[test]
+    fn every_preset_runs_clean_of_unannotated_violations() {
+        use hostcc_chaos::ChaosTimeline;
+        for (name, _, _) in ChaosTimeline::presets() {
+            let mut s = Scenario::with_congestion(2.0)
+                .enable_hostcc()
+                .with_chaos(name);
+            s.record = true;
+            s.warmup = Nanos::from_millis(2);
+            s.measure = Nanos::from_millis(4);
+            let r = Simulation::new(s).run();
+            let t = r.telemetry.expect("record=true");
+            assert_eq!(
+                t.summary.total_violations(),
+                0,
+                "preset {name}: {:?}",
+                t.diagnostic
+            );
+            assert!(
+                t.summary.counters["chaos.injections"] >= 2,
+                "preset {name} must fire"
+            );
+        }
+    }
+
+    #[test]
+    fn known_metrics_cover_everything_a_recorded_run_registers() {
+        use hostcc_telemetry::TelemetryFilter;
+        // A chaos + fault + RPC run touches every metric family there is.
+        let mut s = Scenario::with_congestion(2.0)
+            .enable_hostcc()
+            .with_rpc(2)
+            .with_chaos("flap");
+        s.fault.drop_chance = 1e-4;
+        s.record = true;
+        let r = quick(s);
+        let reg = &r.telemetry.expect("record=true").registry;
+        let registered = reg
+            .counters()
+            .map(|(n, _)| n.to_string())
+            .chain(reg.gauges().map(|(n, _)| n.to_string()))
+            .chain(reg.histograms().map(|(n, _)| n.to_string()));
+        for name in registered {
+            assert!(
+                known_metrics()
+                    .iter()
+                    .any(|m| super::component_prefix(m, &name)),
+                "metric '{name}' missing from known_metrics()"
+            );
+        }
+        // Validation flags useless prefixes and accepts useful ones.
+        let good = TelemetryFilter::parse("host, transport.flow.3.rate_gbps").unwrap();
+        assert!(unknown_telemetry_prefixes(&good).is_empty());
+        let bad = TelemetryFilter::parse("host.gpu,chaos").unwrap();
+        assert_eq!(unknown_telemetry_prefixes(&bad), ["host.gpu"]);
+        assert!(unknown_telemetry_prefixes(&TelemetryFilter::all()).is_empty());
     }
 
     #[test]

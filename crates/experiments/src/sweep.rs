@@ -1013,6 +1013,43 @@ mod tests {
     }
 
     #[test]
+    fn chaos_sweeps_are_bit_identical_across_worker_counts() {
+        // Chaos injections draw from per-event RNG streams derived purely
+        // from (cell seed, event content); nothing may depend on which
+        // worker runs the cell. Warmup/measure must cover the preset fault
+        // windows (4.2–5.7 ms) so the injections actually fire.
+        let mut g = GridSpec::new("chaos-tiny", Scenario::with_congestion(2.0));
+        g.base.warmup = Nanos::from_millis(2);
+        g.base.measure = Nanos::from_millis(4);
+        g.hostcc = vec![false, true];
+        g.set_axis("chaos", "off,flap,burst-loss").unwrap();
+        let opts = |workers| SweepOptions {
+            workers,
+            telemetry: true,
+            strict_invariants: true,
+            ..SweepOptions::default()
+        };
+        let serial = run_sweep(&g, &opts(1)).unwrap();
+        let parallel = run_sweep(&g, &opts(4)).unwrap();
+        assert_eq!(serial.cells.len(), 6);
+        assert_eq!(serial.fingerprint, parallel.fingerprint);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.metrics, b.metrics, "cell {}", a.key);
+            let sa = a.telemetry.as_ref().expect("telemetry was on");
+            let sb = b.telemetry.as_ref().expect("telemetry was on");
+            assert_eq!(sa.fingerprint(), sb.fingerprint(), "cell {}", a.key);
+            if a.get("chaos") != Some("off") {
+                assert!(
+                    sa.counters["chaos.injections"] >= 2,
+                    "chaos must fire in cell {}",
+                    a.key
+                );
+            }
+        }
+    }
+
+    #[test]
     fn worker_resolution() {
         assert_eq!(resolve_workers(1, 10), 1);
         assert_eq!(resolve_workers(8, 3), 3, "capped at job count");

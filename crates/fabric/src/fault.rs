@@ -11,9 +11,12 @@ use hostcc_sim::Rng;
 pub struct FaultConfig {
     /// Probability in `[0, 1]` that a packet is silently dropped.
     pub drop_chance: f64,
-    /// Probability in `[0, 1]` that a packet is corrupted (the simulation
-    /// treats corruption as a checksum failure, i.e. a drop at the receiver
-    /// — but it is accounted separately).
+    /// Probability in `[0, 1]` that a *surviving* packet is corrupted (the
+    /// simulation treats corruption as a checksum failure, i.e. a drop at
+    /// the receiver — but it is accounted separately). The two draws are
+    /// independent and a drop takes precedence, so the marginal corruption
+    /// rate is `(1 − drop_chance) × corrupt_chance` — pinned by the
+    /// statistical test below.
     pub corrupt_chance: f64,
 }
 
@@ -63,17 +66,25 @@ impl FaultInjector {
     }
 
     /// Decide the fate of one packet.
+    ///
+    /// Both probabilities are drawn on *every* call (the drop draw does
+    /// not short-circuit the corrupt draw), so the injector consumes a
+    /// fixed two RNG values per packet regardless of outcome: the decision
+    /// stream for one fault dimension cannot shift when the other
+    /// dimension's configuration changes.
     pub fn apply(&mut self) -> FaultOutcome {
-        if self.config.drop_chance > 0.0 && self.rng.chance(self.config.drop_chance) {
+        let drop = self.rng.chance(self.config.drop_chance);
+        let corrupt = self.rng.chance(self.config.corrupt_chance);
+        if drop {
             self.drops += 1;
-            return FaultOutcome::Drop;
-        }
-        if self.config.corrupt_chance > 0.0 && self.rng.chance(self.config.corrupt_chance) {
+            FaultOutcome::Drop
+        } else if corrupt {
             self.corruptions += 1;
-            return FaultOutcome::Corrupt;
+            FaultOutcome::Corrupt
+        } else {
+            self.passed += 1;
+            FaultOutcome::Pass
         }
-        self.passed += 1;
-        FaultOutcome::Pass
     }
 
     /// Packets dropped so far.
@@ -131,6 +142,56 @@ mod tests {
             Rng::new(3),
         );
         assert_eq!(f.apply(), FaultOutcome::Corrupt);
+    }
+
+    #[test]
+    fn independent_draws_pin_both_marginal_rates() {
+        // Both dimensions are drawn independently with drop precedence:
+        // marginal drop rate = 0.2, marginal corrupt rate = 0.8 × 0.5 = 0.4.
+        let mut f = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.2,
+                corrupt_chance: 0.5,
+            },
+            Rng::new(5),
+        );
+        let n = 20_000;
+        for _ in 0..n {
+            f.apply();
+        }
+        let drop_rate = f.drops() as f64 / n as f64;
+        let corrupt_rate = f.corruptions() as f64 / n as f64;
+        let pass_rate = f.passed() as f64 / n as f64;
+        assert!((drop_rate - 0.2).abs() < 0.02, "drop={drop_rate}");
+        assert!((corrupt_rate - 0.4).abs() < 0.02, "corrupt={corrupt_rate}");
+        assert!((pass_rate - 0.4).abs() < 0.02, "pass={pass_rate}");
+        assert_eq!(f.drops() + f.corruptions() + f.passed(), n);
+    }
+
+    #[test]
+    fn drop_stream_unmoved_by_corrupt_config() {
+        // Fixed two-draw consumption: reconfiguring corruption must not
+        // shift which packets get dropped.
+        let mut a = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.3,
+                corrupt_chance: 0.0,
+            },
+            Rng::new(11),
+        );
+        let mut b = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.3,
+                corrupt_chance: 1.0,
+            },
+            Rng::new(11),
+        );
+        for _ in 0..2000 {
+            let da = a.apply() == FaultOutcome::Drop;
+            let db = b.apply() == FaultOutcome::Drop;
+            assert_eq!(da, db);
+        }
+        assert_eq!(a.drops(), b.drops());
     }
 
     #[test]

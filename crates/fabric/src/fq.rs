@@ -38,6 +38,10 @@ pub struct FqLink {
     active: VecDeque<FlowId>,
     /// In-service packet's departure time, if transmitting.
     in_service_until: Option<Nanos>,
+    /// Whether the link is up. A down link keeps queueing but starts no
+    /// new service; the in-flight packet (if any) finishes normally, as
+    /// with a real PHY loss detected after the last bit left.
+    up: bool,
     backlog_bytes: u64,
     /// Total packets ever serialized.
     pub sent: u64,
@@ -52,6 +56,7 @@ impl FqLink {
             queues: HashMap::new(),
             active: VecDeque::new(),
             in_service_until: None,
+            up: true,
             backlog_bytes: 0,
             sent: 0,
         }
@@ -60,6 +65,38 @@ impl FqLink {
     /// The serialization rate.
     pub fn rate(&self) -> Rate {
         self.rate
+    }
+
+    /// Change the serialization rate mid-run (chaos brownouts). Applies
+    /// from the next packet to enter service; the in-flight packet keeps
+    /// its already-scheduled departure.
+    pub fn set_rate(&mut self, rate: Rate) {
+        assert!(!rate.is_zero(), "use set_up(false) to take the link down");
+        self.rate = rate;
+    }
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Take the link down: packets keep queueing but no new service
+    /// starts until [`FqLink::kick`]. The in-flight packet (if any) still
+    /// departs at its scheduled time.
+    pub fn set_down(&mut self) {
+        self.up = false;
+    }
+
+    /// Bring the link back up at `now`. If the link is idle with backlog,
+    /// service resumes immediately and the departure is returned — the
+    /// driver must schedule it, preserving the one-outstanding-departure
+    /// invariant.
+    pub fn kick(&mut self, now: Nanos) -> Option<Departure> {
+        self.up = true;
+        if self.in_service_until.is_none() {
+            return self.start_next(now);
+        }
+        None
     }
 
     /// Total bytes queued (not counting the packet in service).
@@ -99,6 +136,9 @@ impl FqLink {
     }
 
     fn start_next(&mut self, now: Nanos) -> Option<Departure> {
+        if !self.up {
+            return None;
+        }
         let flow = loop {
             let f = self.active.pop_front()?;
             if self.queues.get(&f).is_some_and(|q| !q.is_empty()) {
@@ -192,6 +232,52 @@ mod tests {
             .enqueue(Nanos::from_millis(1), pkt(0, 2, 4030))
             .expect("starts");
         assert_eq!(d2.at, Nanos::from_millis(1) + Nanos::from_nanos(328));
+    }
+
+    #[test]
+    fn down_link_queues_and_kick_resumes() {
+        let mut l = link();
+        // Packet in service, one queued; link goes down mid-service.
+        let d1 = l.enqueue(Nanos::ZERO, pkt(0, 1, 4030)).unwrap();
+        l.enqueue(Nanos::ZERO, pkt(0, 2, 4030));
+        l.set_down();
+        assert!(!l.is_up());
+        // The in-flight packet still departs, but nothing new starts.
+        assert!(l.on_depart(d1.at).is_none());
+        // New arrivals queue silently while down.
+        assert!(l.enqueue(Nanos::from_micros(1), pkt(0, 3, 4030)).is_none());
+        assert_eq!(l.backlog_bytes(), 2 * 4096);
+        // Kick at link-up: service resumes with the head-of-line packet.
+        let d2 = l.kick(Nanos::from_micros(5)).expect("resumes");
+        assert_eq!(d2.pkt.id, 2);
+        assert_eq!(d2.at, Nanos::from_micros(5) + Nanos::from_nanos(328));
+        // Kicking an already-busy link is a no-op.
+        assert!(l.kick(Nanos::from_micros(5)).is_none());
+    }
+
+    #[test]
+    fn kick_on_idle_empty_link_is_noop() {
+        let mut l = link();
+        l.set_down();
+        assert!(l.kick(Nanos::from_micros(1)).is_none());
+        assert!(l.is_up());
+        // Normal service afterwards.
+        assert!(l.enqueue(Nanos::from_micros(2), pkt(0, 1, 4030)).is_some());
+    }
+
+    #[test]
+    fn rate_change_applies_to_next_service() {
+        let mut l = link();
+        let d1 = l.enqueue(Nanos::ZERO, pkt(0, 1, 4030)).unwrap();
+        assert_eq!(d1.at, Nanos::from_nanos(328));
+        l.enqueue(Nanos::ZERO, pkt(0, 2, 4030));
+        // Halve the rate: the in-flight packet keeps its departure, the
+        // next one serializes in twice the time.
+        l.set_rate(Rate::gbps(50.0));
+        let d2 = l.on_depart(d1.at).unwrap();
+        assert_eq!(d2.at, d1.at + Nanos::from_nanos(656));
+        l.set_rate(Rate::gbps(100.0));
+        assert_eq!(l.rate(), Rate::gbps(100.0));
     }
 
     #[test]

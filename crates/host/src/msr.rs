@@ -80,6 +80,28 @@ impl MsrReadModel {
         }
     }
 
+    /// The mean MSR-read latency.
+    pub fn mean(&self) -> Nanos {
+        self.mean
+    }
+
+    /// The current half-width of the uniform read-latency jitter.
+    pub fn jitter(&self) -> Nanos {
+        self.jitter
+    }
+
+    /// Change the jitter half-width mid-run (chaos: a noisy uncore).
+    /// Only the *computed* latency changes — each draw still consumes
+    /// exactly one RNG value, so restoring the jitter restores the
+    /// original latency sequence from that point on.
+    pub fn set_jitter(&mut self, jitter: Nanos) {
+        assert!(
+            jitter <= self.mean,
+            "jitter wider than the mean would go negative"
+        );
+        self.jitter = jitter;
+    }
+
     /// Draw the latency of one signal read (one TSC read + one MSR read).
     pub fn draw(&self, rng: &mut Rng) -> Nanos {
         let j = self.jitter.as_nanos() as f64;

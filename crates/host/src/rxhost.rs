@@ -410,6 +410,19 @@ impl RxHost {
         &mut self.ddio
     }
 
+    /// Whether DDIO (DMA into LLC) is currently enabled.
+    pub fn ddio_enabled(&self) -> bool {
+        self.cfg.ddio_enabled
+    }
+
+    /// Flip DDIO on or off mid-run (chaos: a BIOS/driver reconfiguration).
+    /// Safe at a tick boundary: the eviction fraction and DMA-landing
+    /// decisions are evaluated per tick from `cfg.ddio_enabled`, so bytes
+    /// already in the IIO simply drain under the new policy.
+    pub fn set_ddio_enabled(&mut self, enabled: bool) {
+        self.cfg.ddio_enabled = enabled;
+    }
+
     /// NIC buffer backlog in bytes.
     pub fn nic_backlog_bytes(&self) -> u64 {
         self.nic.backlog_bytes()

@@ -101,6 +101,13 @@ impl Telemetry {
             .counter_set("watchdog.checks", self.watchdog.checks());
         self.registry
             .counter_set("watchdog.violations", self.watchdog.total_violations());
+        // Also exposed as a gauge: counters are not recorded as series, and
+        // the chaos harness needs the violation count *over time* to
+        // attribute each violation to (or outside) a fault window.
+        self.registry.gauge_set(
+            "watchdog.violations_running",
+            self.watchdog.total_violations() as f64,
+        );
         for inv in ALL_INVARIANTS {
             let n = self.watchdog.violations_of(inv);
             if n > 0 {

@@ -232,6 +232,11 @@ impl TelemetryFilter {
         })
     }
 
+    /// The configured prefixes; `None` when every metric is selected.
+    pub fn prefixes(&self) -> Option<&[String]> {
+        self.prefixes.as_deref()
+    }
+
     /// Whether metric `name` passes the filter. A prefix matches whole
     /// dotted components: `host.iio` matches `host.iio.occupancy_bytes`
     /// but not `host.iiofoo`.

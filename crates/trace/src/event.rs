@@ -54,11 +54,13 @@ pub enum TraceKind {
     CcUpdate = 10,
     /// Receiver NIC buffer backlog sample.
     NicBacklog = 11,
+    /// A chaos-timeline injection fired (fault applied or reverted).
+    ChaosInject = 12,
 }
 
 impl TraceKind {
     /// Number of kinds (array sizing for counters).
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -74,6 +76,7 @@ impl TraceKind {
         TraceKind::PacketDrop,
         TraceKind::CcUpdate,
         TraceKind::NicBacklog,
+        TraceKind::ChaosInject,
     ];
 
     /// The export category (one Perfetto track per category). This is also
@@ -89,6 +92,7 @@ impl TraceKind {
             TraceKind::EcnMark => "ecn",
             TraceKind::PacketDrop => "drop",
             TraceKind::NicBacklog => "nic",
+            TraceKind::ChaosInject => "chaos",
         }
     }
 
@@ -107,13 +111,14 @@ impl TraceKind {
             TraceKind::PacketDrop => "packet_drop",
             TraceKind::CcUpdate => "cc_cwnd",
             TraceKind::NicBacklog => "nic_backlog_bytes",
+            TraceKind::ChaosInject => "chaos_inject",
         }
     }
 
     /// All category names, deduplicated, in track order.
     pub fn categories() -> &'static [&'static str] {
         &[
-            "nic", "pcie", "iio", "ddio", "mba", "signal", "cc", "ecn", "drop",
+            "nic", "pcie", "iio", "ddio", "mba", "signal", "cc", "ecn", "drop", "chaos",
         ]
     }
 }
@@ -192,6 +197,14 @@ pub enum TraceEvent {
         /// Buffered bytes.
         bytes: u64,
     },
+    /// A chaos-timeline injection fired.
+    ChaosInject {
+        /// Index of the chaos event within its timeline.
+        index: u32,
+        /// True when this injection starts the fault window; false when it
+        /// reverts it.
+        start: bool,
+    },
 }
 
 impl TraceEvent {
@@ -210,6 +223,7 @@ impl TraceEvent {
             TraceEvent::PacketDrop { .. } => TraceKind::PacketDrop,
             TraceEvent::CcUpdate { .. } => TraceKind::CcUpdate,
             TraceEvent::NicBacklog { .. } => TraceKind::NicBacklog,
+            TraceEvent::ChaosInject { .. } => TraceKind::ChaosInject,
         }
     }
 

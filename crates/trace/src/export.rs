@@ -136,6 +136,14 @@ fn render_event(ev: &TraceEvent) -> (&'static str, String, String) {
         TraceEvent::NicBacklog { bytes } => {
             ("C", kind.name().to_string(), format!("\"bytes\":{bytes}"))
         }
+        TraceEvent::ChaosInject { index, start } => (
+            "i",
+            kind.name().to_string(),
+            format!(
+                "\"index\":{index},\"phase\":\"{}\"",
+                if start { "start" } else { "end" }
+            ),
+        ),
     }
 }
 
@@ -351,6 +359,13 @@ mod tests {
         t.record(
             Nanos::from_micros(8),
             TraceEvent::DdioEviction { fraction: 0.375 },
+        );
+        t.record(
+            Nanos::from_micros(10),
+            TraceEvent::ChaosInject {
+                index: 0,
+                start: true,
+            },
         );
         t
     }

@@ -37,6 +37,10 @@ fn event_of(idx: usize) -> TraceEvent {
             cwnd_bytes: 15_000,
         },
         TraceKind::NicBacklog => TraceEvent::NicBacklog { bytes: 4096 },
+        TraceKind::ChaosInject => TraceEvent::ChaosInject {
+            index: 0,
+            start: true,
+        },
     }
 }
 
