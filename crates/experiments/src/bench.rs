@@ -1,0 +1,472 @@
+//! The `repro bench` harness: named suites of representative workloads,
+//! measured N warmup + M timed iterations each, emitted as a
+//! `BENCH_<git-short-sha>.json` trajectory file (see
+//! [`hostcc_perf::BenchReport`]).
+//!
+//! Workloads come in three shapes, mirroring the CLI's own subcommands:
+//! single scenarios, sweep grids (single-worker, so events/sec measures
+//! engine speed, not parallelism), and a paired-chaos run (hostCC off/on
+//! under the same fault timeline). Every workload runs with a
+//! [`PerfProfiler`] attached, so the emitted file carries the
+//! per-subsystem attribution breakdown alongside throughput.
+//!
+//! Iteration wall times vary; everything else is deterministic — the
+//! runner *errors* if a workload's event count or simulated time differs
+//! between iterations, since that would mean the simulation itself is
+//! non-deterministic.
+
+use std::time::Instant;
+
+use hostcc_perf::{
+    alloc_stats, reset_alloc_peak, BenchReport, BenchWorkload, HostMeta, PerfHandle, PerfProfiler,
+    PerfReport,
+};
+
+use crate::figures::Budget;
+use crate::grid::GridSpec;
+use crate::sweep::{run_sweep, SweepOptions};
+use crate::{Scenario, Simulation};
+
+/// How many iterations a suite runs per workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Unmeasured warmup iterations (page in code and allocator arenas).
+    pub warmup: u32,
+    /// Measured iterations (p50/p95 spread is computed over these).
+    pub iters: u32,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            warmup: 1,
+            iters: 3,
+        }
+    }
+}
+
+/// The suite catalog: `(name, description)`.
+pub fn suites() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "smoke",
+            "4 small workloads (~seconds): 2 quick scenarios, a 4-cell sweep, chaos:flap",
+        ),
+        (
+            "standard",
+            "6 workloads: the 4 figure scenarios at standard budget, the 16-cell \
+             figure-grid sweep, chaos:flap",
+        ),
+    ]
+}
+
+/// One benchmarkable unit of work.
+enum Workload {
+    /// A single scenario run ([`Simulation::run`]).
+    Scenario {
+        name: &'static str,
+        make: fn() -> Scenario,
+        budget: Budget,
+    },
+    /// A sweep grid run with one worker (engine speed, not parallelism).
+    Sweep {
+        name: &'static str,
+        make: fn() -> Result<GridSpec, String>,
+        budget: Budget,
+    },
+    /// The differential-resilience shape: hostCC off and on under the
+    /// same chaos timeline, run serially as one measured unit.
+    Chaos {
+        name: &'static str,
+        preset: &'static str,
+        budget: Budget,
+    },
+}
+
+/// One measured iteration: wall time plus the deterministic counters.
+struct IterOut {
+    wall_secs: f64,
+    events: u64,
+    sim_ns: u64,
+    perf: Option<PerfReport>,
+}
+
+impl Workload {
+    fn name(&self) -> &'static str {
+        match self {
+            Workload::Scenario { name, .. }
+            | Workload::Sweep { name, .. }
+            | Workload::Chaos { name, .. } => name,
+        }
+    }
+
+    fn run_once(&self) -> Result<IterOut, String> {
+        match self {
+            Workload::Scenario { make, budget, .. } => {
+                let s = budget.apply(make());
+                Ok(run_profiled_sim(s))
+            }
+            Workload::Sweep { make, budget, .. } => {
+                let mut spec = make()?;
+                spec.base = budget.apply(spec.base);
+                let opts = SweepOptions {
+                    workers: 1,
+                    trace: false,
+                    telemetry: false,
+                    perf: true,
+                    ..SweepOptions::default()
+                };
+                let manifest = run_sweep(&spec, &opts)?;
+                let rate = manifest.sim_rate();
+                Ok(IterOut {
+                    wall_secs: rate.wall_secs,
+                    events: rate.events,
+                    sim_ns: rate.sim_ns,
+                    perf: manifest.perf,
+                })
+            }
+            Workload::Chaos { preset, budget, .. } => {
+                // The paired off/on arms run serially under one wall
+                // measurement; their perf reports merge commutatively.
+                let started = Instant::now();
+                let mut events = 0u64;
+                let mut sim_ns = 0u64;
+                let mut perf = PerfReport::default();
+                for hostcc in [false, true] {
+                    let mut s = Scenario::with_congestion(3.0).with_chaos(preset);
+                    if hostcc {
+                        s = s.enable_hostcc();
+                    }
+                    let out = run_profiled_sim(budget.apply(s));
+                    events += out.events;
+                    sim_ns += out.sim_ns;
+                    perf.merge(&out.perf.expect("profiler attached"));
+                }
+                Ok(IterOut {
+                    wall_secs: started.elapsed().as_secs_f64(),
+                    events,
+                    sim_ns,
+                    perf: Some(perf),
+                })
+            }
+        }
+    }
+}
+
+/// Build, profile and run one simulation; the wall measurement covers
+/// construction too (it is part of what a user pays per run).
+fn run_profiled_sim(s: Scenario) -> IterOut {
+    let started = Instant::now();
+    let mut sim = Simulation::new(s);
+    sim.set_perf(PerfHandle::new(PerfProfiler::new()));
+    let events_before = sim.events_processed();
+    let sim_before = sim.now();
+    sim.run();
+    IterOut {
+        wall_secs: started.elapsed().as_secs_f64(),
+        events: sim.events_processed() - events_before,
+        sim_ns: sim.now().as_nanos() - sim_before.as_nanos(),
+        perf: sim.perf().report(),
+    }
+}
+
+fn suite_workloads(suite: &str) -> Result<Vec<Workload>, String> {
+    let small_grid = || -> Result<GridSpec, String> {
+        let mut g = GridSpec::new("bench-small", Scenario::paper_baseline());
+        g.set_axis("hostcc", "off,on")?;
+        g.set_axis("degree", "0,3")?;
+        Ok(g)
+    };
+    let figure_grid =
+        || GridSpec::preset("figure-grid").ok_or_else(|| "figure-grid preset missing".to_string());
+    match suite {
+        "smoke" => Ok(vec![
+            Workload::Scenario {
+                name: "scenario:baseline",
+                make: Scenario::paper_baseline,
+                budget: Budget::quick(),
+            },
+            Workload::Scenario {
+                name: "scenario:hostcc",
+                make: || Scenario::with_congestion(3.0).enable_hostcc(),
+                budget: Budget::quick(),
+            },
+            Workload::Sweep {
+                name: "sweep:small",
+                make: small_grid,
+                budget: Budget::quick(),
+            },
+            Workload::Chaos {
+                name: "chaos:flap",
+                preset: "flap",
+                budget: Budget::quick(),
+            },
+        ]),
+        "standard" => Ok(vec![
+            Workload::Scenario {
+                name: "scenario:baseline",
+                make: Scenario::paper_baseline,
+                budget: Budget::standard(),
+            },
+            Workload::Scenario {
+                name: "scenario:congested",
+                make: || Scenario::with_congestion(3.0),
+                budget: Budget::standard(),
+            },
+            Workload::Scenario {
+                name: "scenario:hostcc",
+                make: || Scenario::with_congestion(3.0).enable_hostcc(),
+                budget: Budget::standard(),
+            },
+            Workload::Scenario {
+                name: "scenario:incast",
+                make: || Scenario::incast(8, 3.0).enable_hostcc(),
+                budget: Budget::standard(),
+            },
+            Workload::Sweep {
+                name: "sweep:figure-grid",
+                make: figure_grid,
+                budget: Budget::quick(),
+            },
+            Workload::Chaos {
+                name: "chaos:flap",
+                preset: "flap",
+                budget: Budget::quick(),
+            },
+        ]),
+        other => Err(format!(
+            "unknown suite '{other}'\nsuites: {}",
+            suites()
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" ")
+        )),
+    }
+}
+
+/// Nearest-rank quantile over the measured wall times.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn run_workload(w: &Workload, opts: &BenchOptions) -> Result<BenchWorkload, String> {
+    for _ in 0..opts.warmup {
+        w.run_once()?;
+    }
+    let alloc_before = alloc_stats();
+    reset_alloc_peak();
+    let mut walls = Vec::with_capacity(opts.iters as usize);
+    let mut events = 0u64;
+    let mut sim_ns = 0u64;
+    let mut perf: Option<PerfReport> = None;
+    for i in 0..opts.iters {
+        let out = w.run_once()?;
+        if i == 0 {
+            events = out.events;
+            sim_ns = out.sim_ns;
+        } else if out.events != events || out.sim_ns != sim_ns {
+            // The sim is deterministic; a drift here is a real bug, not
+            // measurement noise.
+            return Err(format!(
+                "bench '{}': iteration {} processed {} events / {} sim-ns, \
+                 expected {events} / {sim_ns} — the simulation is not deterministic",
+                w.name(),
+                i,
+                out.events,
+                out.sim_ns
+            ));
+        }
+        walls.push(out.wall_secs);
+        if let Some(p) = out.perf {
+            perf.get_or_insert_with(PerfReport::default).merge(&p);
+        }
+    }
+    let alloc = match (alloc_before, alloc_stats()) {
+        (Some(before), Some(after)) => Some(after.since(&before)),
+        _ => None,
+    };
+    let mut sorted = walls.clone();
+    sorted.sort_by(f64::total_cmp);
+    Ok(BenchWorkload {
+        name: w.name().to_string(),
+        wall_secs_p50: quantile(&sorted, 0.50),
+        wall_secs_p95: quantile(&sorted, 0.95),
+        wall_secs_iters: walls,
+        events,
+        sim_ns,
+        perf,
+        alloc,
+    })
+}
+
+/// `git rev-parse --short HEAD`, or "unknown" outside a checkout.
+pub fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn host_meta() -> HostMeta {
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    HostMeta {
+        cpus: std::thread::available_parallelism()
+            .map(|p| p.get() as u64)
+            .unwrap_or(0),
+        rustc,
+        os: std::env::consts::OS.to_string(),
+        arch: std::env::consts::ARCH.to_string(),
+        timestamp_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    }
+}
+
+/// Run a named suite end to end and assemble the trajectory report.
+pub fn run_suite(suite: &str, opts: &BenchOptions) -> Result<BenchReport, String> {
+    if opts.iters == 0 {
+        return Err("bench: --iters must be at least 1".to_string());
+    }
+    let workloads = suite_workloads(suite)?;
+    let mut measured = Vec::with_capacity(workloads.len());
+    for w in &workloads {
+        eprintln!("[bench] {} ...", w.name());
+        measured.push(run_workload(w, opts)?);
+    }
+    Ok(BenchReport {
+        git_sha: git_short_sha(),
+        suite: suite.to_string(),
+        warmup: opts.warmup,
+        iters: opts.iters,
+        workloads: measured,
+        host: host_meta(),
+    })
+}
+
+/// Human summary table of a bench report.
+pub fn render_report(r: &BenchReport) -> String {
+    let mut out = format!(
+        "bench suite '{}' @ {} ({} warmup + {} iters)\n{:<22} {:>12} {:>16} {:>10} {:>10} {:>6}\n",
+        r.suite,
+        r.git_sha,
+        r.warmup,
+        r.iters,
+        "workload",
+        "events/s",
+        "sim-ns/wall-s",
+        "p50 ms",
+        "p95 ms",
+        "attr%",
+    );
+    for w in &r.workloads {
+        let attr = w
+            .perf
+            .as_ref()
+            .map(|p| format!("{:.1}", 100.0 * p.attributed_frac()))
+            .unwrap_or_else(|| "-".to_string());
+        out.push_str(&format!(
+            "{:<22} {:>12.0} {:>16.2e} {:>10.2} {:>10.2} {:>6}\n",
+            w.name,
+            w.events_per_sec(),
+            w.sim_ns_per_wall_sec(),
+            w.wall_secs_p50 * 1e3,
+            w.wall_secs_p95 * 1e3,
+            attr,
+        ));
+    }
+    if let Some(w) = r.workloads.iter().find(|w| w.alloc.is_some()) {
+        let a = w.alloc.as_ref().unwrap();
+        out.push_str(&format!(
+            "alloc ({}): {} allocs, {} bytes, peak live {} bytes\n",
+            w.name, a.allocs, a.bytes, a.peak_live_bytes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.50), 2.0);
+        assert_eq!(quantile(&v, 0.95), 4.0);
+        assert_eq!(quantile(&[7.0], 0.50), 7.0);
+        assert_eq!(quantile(&[], 0.50), 0.0);
+    }
+
+    #[test]
+    fn unknown_suite_is_an_error_and_catalog_names_resolve() {
+        assert!(run_suite("nope", &BenchOptions::default())
+            .unwrap_err()
+            .contains("unknown suite"));
+        for (name, _) in suites() {
+            assert!(suite_workloads(name).is_ok(), "{name}");
+        }
+        assert!(
+            run_suite(
+                "smoke",
+                &BenchOptions {
+                    warmup: 0,
+                    iters: 0
+                }
+            )
+            .is_err(),
+            "zero iterations must be rejected"
+        );
+    }
+
+    #[test]
+    fn smoke_suite_emits_a_round_trippable_report() {
+        // One tiny measured pass over the real smoke suite: this is the
+        // same path `repro bench --suite smoke` takes, minus file IO.
+        let report = run_suite(
+            "smoke",
+            &BenchOptions {
+                warmup: 0,
+                iters: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.workloads.len(), 4);
+        for w in &report.workloads {
+            assert!(w.events > 0, "{}", w.name);
+            assert!(w.sim_ns > 0, "{}", w.name);
+            assert!(w.wall_secs_p50 > 0.0, "{}", w.name);
+            let perf = w.perf.as_ref().expect("all bench workloads profile");
+            assert!(
+                perf.attributed_frac() >= 0.95,
+                "{}: attributed only {:.1}%",
+                w.name,
+                100.0 * perf.attributed_frac()
+            );
+        }
+        let json = report.to_json();
+        let back = BenchReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        // Self-compare: zero deltas, no regressions at any threshold.
+        let cmp = hostcc_perf::compare(&back, &report, 0.0);
+        assert!(cmp.regressions().is_empty());
+        assert!(render_report(&report).contains("scenario:baseline"));
+    }
+}

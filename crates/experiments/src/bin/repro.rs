@@ -13,6 +13,9 @@
 //! repro chaos [--quick] [--workers N] [--strict-invariants] [--out DIR]
 //!       [--preset NAME | NAME|SPEC ...]
 //! repro chaos --list
+//! repro bench [--suite NAME] [--warmup N] [--iters N] [--out PATH]
+//!       [--compare BASELINE.json] [--current PATH] [--threshold PCT]
+//! repro bench --list
 //! ```
 //!
 //! Every run is deterministic; `--quick` uses short measurement windows
@@ -53,16 +56,30 @@
 //! at any `--workers` count. The exit code is nonzero when any arm saw a
 //! watchdog violation outside an annotated fault window (with
 //! `--strict-invariants`, any violation at all).
+//!
+//! `repro bench` runs a named workload suite (`repro bench --list`) with
+//! per-subsystem wall-clock attribution and writes the trajectory file
+//! `BENCH_<git-short-sha>.json` to the current directory (or `--out PATH`).
+//! `repro bench --compare BASELINE.json` diffs a prior file against the
+//! current one (`--current PATH`, else the file for the current git sha,
+//! else the newest `BENCH_*.json`; when `--suite` is also given, against a
+//! fresh run) and exits nonzero if any workload regressed by more than
+//! `--threshold` percent (default 5). Build with
+//! `--features alloc-profile` to add allocator counts to the report.
+//! Scenario targets additionally accept `--profile` to print the same
+//! attribution table after a single run.
 
 use std::io::Write;
 use std::process::ExitCode;
 
 use hostcc_chaos::ChaosTimeline;
+use hostcc_experiments::bench::{self, BenchOptions};
 use hostcc_experiments::figures::{self, Budget, FigureReport};
 use hostcc_experiments::grid::GridSpec;
 use hostcc_experiments::resilience::run_chaos;
 use hostcc_experiments::sweep::{run_sweep, SweepOptions};
 use hostcc_experiments::{known_metrics, unknown_telemetry_prefixes, Scenario, Simulation};
+use hostcc_perf::{compare, BenchReport, PerfHandle, PerfProfiler};
 use hostcc_sim::Nanos;
 use hostcc_telemetry::{
     prometheus_text, summary_json, to_jsonl, wide_csv, Telemetry, TelemetryConfig, TelemetryFilter,
@@ -72,6 +89,13 @@ use hostcc_trace::{
     write_chrome_trace, write_jsonl, SimRateProfiler, TraceFilter, TraceHandle, Tracer,
     DEFAULT_TRACE_CAPACITY,
 };
+
+/// With `--features alloc-profile`, every allocation in the process is
+/// counted (relaxed atomics over the system allocator) and `repro bench`
+/// reports per-workload allocator deltas. Default builds register nothing.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static ALLOC: hostcc_perf::CountingAllocator = hostcc_perf::CountingAllocator;
 
 type FigFn = fn(&Budget) -> FigureReport;
 
@@ -108,10 +132,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--quick] [--csv DIR] [--trace PATH] [--trace-filter CATS] \
          [--telemetry] [--telemetry-interval NS] [--telemetry-filter PREFIXES] \
-         [--telemetry-out DIR] [--strict-invariants] <target>..."
+         [--telemetry-out DIR] [--strict-invariants] [--profile] <target>..."
     );
     eprintln!("       repro sweep [--quick] [--workers N] [--out DIR] <preset | axis=v1,v2 ...>");
     eprintln!("       repro chaos [--quick] [--workers N] [--out DIR] [--preset NAME | SPEC ...]");
+    eprintln!(
+        "       repro bench [--suite NAME] [--warmup N] [--iters N] [--out PATH] \
+         [--compare BASELINE.json] [--current PATH] [--threshold PCT]"
+    );
     eprintln!("figures: all {}", valid_figures().join(" "));
     eprintln!("scenarios: {}", valid_scenarios().join(" "));
     eprintln!(
@@ -176,6 +204,7 @@ fn sanitize(caption: &str) -> String {
 
 /// Run one scenario target, optionally tracing and sampling telemetry,
 /// and print the summary.
+#[allow(clippy::too_many_arguments)]
 fn run_scenario(
     name: &str,
     make: ScenarioFn,
@@ -184,6 +213,7 @@ fn run_scenario(
     filter: TraceFilter,
     telemetry: Option<&TelemetryConfig>,
     telemetry_out: Option<&str>,
+    profile: bool,
 ) -> Result<(), String> {
     let mut s = make();
     s.warmup = budget.warmup;
@@ -197,6 +227,9 @@ fn run_scenario(
     }
     if let Some(cfg) = telemetry {
         sim.set_telemetry(TelemetryHandle::new(Telemetry::new(cfg.clone())));
+    }
+    if profile {
+        sim.set_perf(PerfHandle::new(PerfProfiler::new()));
     }
 
     let profiler = SimRateProfiler::start(sim.events_processed(), sim.now());
@@ -238,6 +271,9 @@ fn run_scenario(
         );
     }
     println!("{}", report.render());
+    if let Some(perf) = sim.perf().report() {
+        print!("{}", perf.render());
+    }
 
     if let Some(path) = trace_path {
         let export = sim.trace().with(|t| {
@@ -559,6 +595,210 @@ fn chaos_main(args: &[String]) -> ExitCode {
     }
 }
 
+fn bench_usage() -> ExitCode {
+    eprintln!(
+        "usage: repro bench [--suite NAME] [--warmup N] [--iters N] [--out PATH] \
+         [--compare BASELINE.json] [--current PATH] [--threshold PCT]"
+    );
+    eprintln!("       repro bench --list");
+    eprintln!("suites:");
+    for (name, desc) in bench::suites() {
+        eprintln!("  {name:<10} {desc}");
+    }
+    eprintln!(
+        "--compare without --suite diffs two existing files; with --suite it \
+         diffs the baseline against the fresh run"
+    );
+    ExitCode::FAILURE
+}
+
+fn load_bench(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Resolve the "current" side of a pure-file comparison: an explicit
+/// `--current PATH`, else `BENCH_<sha>.json` for the current git sha, else
+/// the newest `BENCH_*.json` in the current directory.
+fn resolve_current(explicit: Option<&str>) -> Result<String, String> {
+    if let Some(path) = explicit {
+        return Ok(path.to_string());
+    }
+    let by_sha = format!("BENCH_{}.json", bench::git_short_sha());
+    if std::fs::metadata(&by_sha).is_ok() {
+        return Ok(by_sha);
+    }
+    let mut newest: Option<(std::time::SystemTime, String)> = None;
+    let entries = std::fs::read_dir(".").map_err(|e| format!("cannot read cwd: {e}"))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let Ok(modified) = entry.metadata().and_then(|m| m.modified()) else {
+            continue;
+        };
+        if newest.as_ref().is_none_or(|(t, _)| modified > *t) {
+            newest = Some((modified, name));
+        }
+    }
+    newest.map(|(_, name)| name).ok_or_else(|| {
+        "no current BENCH_*.json found: run `repro bench` first or pass --current PATH".to_string()
+    })
+}
+
+/// Print the delta table; nonzero exit iff a workload regressed beyond the
+/// threshold.
+fn report_comparison(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> ExitCode {
+    let cmp = compare(baseline, current, threshold);
+    print!("{}", cmp.render());
+    if cmp.regressions().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn bench_main(args: &[String]) -> ExitCode {
+    let mut suite: Option<String> = None;
+    let mut opts = BenchOptions::default();
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut threshold = 5.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--suite" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => suite = Some(name.clone()),
+                    None => return bench_usage(),
+                }
+            }
+            "--warmup" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u32>().ok()) {
+                    Some(n) => opts.warmup = n,
+                    None => {
+                        eprintln!("--warmup needs a non-negative iteration count");
+                        return bench_usage();
+                    }
+                }
+            }
+            "--iters" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u32>().ok()) {
+                    Some(n) if n > 0 => opts.iters = n,
+                    _ => {
+                        eprintln!("--iters needs a positive iteration count");
+                        return bench_usage();
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = Some(path.clone()),
+                    None => return bench_usage(),
+                }
+            }
+            "--compare" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => baseline = Some(path.clone()),
+                    None => return bench_usage(),
+                }
+            }
+            "--current" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => current = Some(path.clone()),
+                    None => return bench_usage(),
+                }
+            }
+            "--threshold" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(pct) if pct >= 0.0 => threshold = pct,
+                    _ => {
+                        eprintln!("--threshold needs a non-negative percentage");
+                        return bench_usage();
+                    }
+                }
+            }
+            "--list" => {
+                println!("suites:");
+                for (name, desc) in bench::suites() {
+                    println!("  {name:<10} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return bench_usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return bench_usage();
+            }
+        }
+        i += 1;
+    }
+
+    // Pure file diff: --compare without --suite never runs anything.
+    if let (Some(base_path), None) = (&baseline, &suite) {
+        let base = match load_bench(base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cur_path = match resolve_current(current.as_deref()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cur = match load_bench(&cur_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("comparing {base_path} (baseline) vs {cur_path} (current)");
+        return report_comparison(&base, &cur, threshold);
+    }
+
+    let suite = suite.unwrap_or_else(|| "smoke".to_string());
+    let report = match bench::run_suite(&suite, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", bench::render_report(&report));
+    let path = out.unwrap_or_else(|| format!("BENCH_{}.json", report.git_sha));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("[wrote {path}]");
+    if let Some(base_path) = &baseline {
+        let base = match load_bench(base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("comparing {base_path} (baseline) vs this run");
+        return report_comparison(&base, &report, threshold);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("sweep") {
@@ -566,6 +806,9 @@ fn main() -> ExitCode {
     }
     if raw.first().map(String::as_str) == Some("chaos") {
         return chaos_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("bench") {
+        return bench_main(&raw[1..]);
     }
     let mut budget = Budget::standard();
     let mut targets: Vec<String> = Vec::new();
@@ -575,6 +818,7 @@ fn main() -> ExitCode {
     let mut telemetry_on = false;
     let mut telemetry_cfg = TelemetryConfig::default();
     let mut telemetry_out: Option<String> = None;
+    let mut profile = false;
     let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -598,6 +842,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--telemetry" => telemetry_on = true,
+            "--profile" => profile = true,
             "--strict-invariants" => {
                 telemetry_on = true;
                 telemetry_cfg.strict = true;
@@ -679,6 +924,7 @@ fn main() -> ExitCode {
                 filter,
                 telemetry,
                 telemetry_out.as_deref(),
+                profile,
             ) {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;

@@ -2,8 +2,8 @@
 //!
 //! One function per figure of the paper's evaluation; each assembles the
 //! scenario(s), runs them, and returns a [`FigureReport`] whose tables
-//! mirror the figure's panels. The `repro` CLI prints these; the criterion
-//! benches in `hostcc-bench` time them at the `quick` budget.
+//! mirror the figure's panels. The `repro` CLI prints these; `repro bench`
+//! times the harness end to end (see `hostcc-experiments::bench`).
 
 mod baseline;
 mod deepdive;

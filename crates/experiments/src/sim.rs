@@ -20,6 +20,7 @@ use hostcc_fabric::{
 };
 use hostcc_host::{MsrReadModel, RxHost, TxHost, MBA_LEVELS};
 use hostcc_metrics::Cdf;
+use hostcc_perf::{PerfHandle, PerfScope};
 use hostcc_sim::{EventQueue, Nanos, Rate, Rng};
 use hostcc_telemetry::{Telemetry, TelemetryHandle, WatchdogInput};
 use hostcc_trace::{DropLocus, TraceCounts, TraceEvent, TraceHandle};
@@ -168,6 +169,12 @@ pub struct Simulation {
     /// drops, host echo marks, signal samples), which happen in the
     /// simulation loop because the fabric types don't know flow identity.
     trace: TraceHandle,
+    /// Wall-clock attribution handle; disabled by default. The event loop
+    /// opens an `Engine` scope and nests per-event-kind and per-tick-phase
+    /// scopes inside it. Profiling only reads the wall clock — never any
+    /// simulation state — so a profiled run is bit-identical to an
+    /// unprofiled one (pinned by test below).
+    perf: PerfHandle,
 }
 
 fn make_cc(kind: CcKind, base_rtt: Nanos) -> Box<dyn hostcc_transport::CongestionControl> {
@@ -348,6 +355,7 @@ impl Simulation {
             policy: None,
             next_tick: tick,
             trace: TraceHandle::disabled(),
+            perf: PerfHandle::disabled(),
             cfg,
         }
     }
@@ -382,6 +390,18 @@ impl Simulation {
     /// [`Simulation::set_telemetry`] enabled it).
     pub fn telemetry(&self) -> &TelemetryHandle {
         &self.telemetry
+    }
+
+    /// Attach a wall-clock attribution profiler. Call before `run`; read
+    /// the report back through [`Simulation::perf`] afterwards.
+    pub fn set_perf(&mut self, perf: PerfHandle) {
+        self.perf = perf;
+    }
+
+    /// The shared perf handle (disabled unless [`Simulation::set_perf`]
+    /// enabled it).
+    pub fn perf(&self) -> &PerfHandle {
+        &self.perf
     }
 
     /// Total simulation events popped from the queue so far (sim-rate
@@ -440,22 +460,45 @@ impl Simulation {
     pub fn run(&mut self) -> RunResult {
         let warm_end = self.cfg.warmup;
         self.advance_to(warm_end);
+        self.perf.enter(PerfScope::Engine);
         self.reset_window();
+        self.perf.exit();
         let end = warm_end + self.cfg.measure;
         self.advance_to(end);
         self.collect(self.cfg.measure)
     }
 
     /// Advance the simulation to `t_end`.
+    ///
+    /// The whole loop runs inside a perf `Engine` scope; per-event and
+    /// per-tick-phase scopes nest inside it, so when profiling is on the
+    /// attributed time covers essentially the full wall time of the call
+    /// (`Engine` self-time is the queue/loop overhead).
     pub fn advance_to(&mut self, t_end: Nanos) {
+        self.perf.enter(PerfScope::Engine);
         while self.next_tick <= t_end {
             let tick_at = self.next_tick;
             while let Some((t, ev)) = self.q.pop_before(tick_at) {
+                self.perf.enter(Self::ev_scope(&ev));
                 self.handle(t, ev);
+                self.perf.exit();
             }
             self.q.advance_to(tick_at);
             self.tick(tick_at);
             self.next_tick = tick_at + self.cfg.host.tick;
+        }
+        self.perf.exit();
+    }
+
+    /// The attribution bucket for an event dispatch.
+    fn ev_scope(ev: &Ev) -> PerfScope {
+        match ev {
+            Ev::Depart { .. } => PerfScope::EvDepart,
+            Ev::ArriveSwitch { .. } => PerfScope::EvArriveSwitch,
+            Ev::ArriveRxNic { .. } => PerfScope::EvArriveRxNic,
+            Ev::DeliverStack { .. } => PerfScope::EvDeliverStack,
+            Ev::AckArrive { .. } => PerfScope::EvAckArrive,
+            Ev::Chaos { .. } => PerfScope::EvChaos,
         }
     }
 
@@ -715,6 +758,9 @@ impl Simulation {
     }
 
     fn tick(&mut self, now: Nanos) {
+        // Host phase: onset control plus the sender/receiver host
+        // datapath integration (phases 0 and 1 below).
+        self.perf.enter(PerfScope::TickHost);
         // MApp onset (plus whatever aggressor chaos windows are open).
         if !self.mapp_started && now >= self.cfg.mapp_start {
             let boost = self.chaos.as_ref().map_or(0.0, |c| c.aggressor_boost);
@@ -746,8 +792,10 @@ impl Simulation {
 
         // 1. Host datapath.
         let out = self.rx.tick(now);
+        self.perf.exit();
 
         // 2. hostCC control loop.
+        self.perf.enter(PerfScope::TickCore);
         let mark = if let Some(hc) = &mut self.hostcc {
             if let Some(policy) = &mut self.policy {
                 let bt = policy.target(now, hc.bs());
@@ -763,7 +811,11 @@ impl Simulation {
         // An echo-outage chaos window silences the receiver-side marking
         // path (the controller keeps running; only the echo is lost).
         let mark = mark && self.chaos.as_ref().is_none_or(|c| c.echo_outage == 0);
+        self.perf.exit();
 
+        // Transport phase: deliveries, application reads and window
+        // reopening (phases 3–5 below).
+        self.perf.enter(PerfScope::TickTransport);
         // 3. Deliveries: receiver-side ECN echo, then up the stack.
         for d in out.delivered {
             let mut pkt = d.pkt;
@@ -831,8 +883,10 @@ impl Simulation {
                 );
             }
         }
+        self.perf.exit();
 
         // 6. Monitoring sampler (independent of hostCC).
+        self.perf.enter(PerfScope::TickCore);
         if let Some(sample) = self.monitor.maybe_sample(now, self.rx.msr()) {
             self.trace.emit(now, || TraceEvent::SignalSample {
                 is: sample.is,
@@ -855,19 +909,27 @@ impl Simulation {
         let eff_level = f64::from(self.rx.mba_mut().effective_level(now));
         self.level_sum += eff_level;
         self.level_ticks += 1;
+        self.perf.exit();
+
+        self.perf.enter(PerfScope::TickTelemetry);
         self.sample_telemetry(now, eff_level);
+        self.perf.exit();
 
         // 7. Workloads and flow timers.
+        self.perf.enter(PerfScope::TickWorkload);
         for k in 0..self.rpcs.len() {
             let (idx, _) = self.rpcs[k];
             let (_, rpc) = &mut self.rpcs[k];
             let flow = &mut self.flows[idx];
             rpc.maybe_send(now, flow);
         }
+        self.perf.exit();
+        self.perf.enter(PerfScope::TickTransport);
         for i in 0..self.flows.len() {
             self.flows[i].on_tick(now);
             self.pump_flow(i, now);
         }
+        self.perf.exit();
     }
 
     /// Update registry gauges from the host probe and the latest signal
@@ -1285,6 +1347,69 @@ mod tests {
             "series: {:?}",
             t.series.keys().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_the_run() {
+        use crate::sweep::CellMetrics;
+        use hostcc_perf::PerfProfiler;
+        let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+        s.record = true; // telemetry on in both runs, so fingerprints cover it
+        let plain = quick(s.clone());
+        s.warmup = Nanos::from_millis(2);
+        s.measure = Nanos::from_millis(4);
+        let mut sim = Simulation::new(s);
+        sim.set_perf(PerfHandle::new(PerfProfiler::new()));
+        let profiled = sim.run();
+        // Bit-identical RunResult: exact equality on every deterministic
+        // scalar, plus the sweep-layer FNV fingerprint over all of them.
+        assert_eq!(plain.goodput.as_gbps(), profiled.goodput.as_gbps());
+        assert_eq!(plain.nic_drops, profiled.nic_drops);
+        assert_eq!(plain.data_packets, profiled.data_packets);
+        assert_eq!(plain.host_marks, profiled.host_marks);
+        assert_eq!(plain.mba_writes, profiled.mba_writes);
+        assert_eq!(
+            CellMetrics::from_result(&plain).fingerprint(),
+            CellMetrics::from_result(&profiled).fingerprint()
+        );
+        // Telemetry is equally untouched by profiling.
+        let (pt, it) = (plain.telemetry.unwrap(), profiled.telemetry.unwrap());
+        assert_eq!(pt.summary.samples, it.summary.samples);
+        assert_eq!(pt.summary.total_violations(), it.summary.total_violations());
+    }
+
+    #[test]
+    fn profiling_attributes_nearly_all_wall_time() {
+        use hostcc_perf::{PerfProfiler, Subsystem};
+        let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+        s.warmup = Nanos::from_millis(2);
+        s.measure = Nanos::from_millis(4);
+        let mut sim = Simulation::new(s);
+        sim.set_perf(PerfHandle::new(PerfProfiler::new()));
+        sim.run();
+        let r = sim.perf().report().expect("profiler attached");
+        assert!(r.total_ns > 0);
+        // Scopes nest under `Engine`; the only unattributed wall time is
+        // the handful of instructions between `advance_to` calls.
+        assert!(
+            r.attributed_frac() >= 0.95,
+            "attributed {:.1}% of {} ns",
+            100.0 * r.attributed_frac(),
+            r.total_ns
+        );
+        let by_subsystem = r.subsystem_ns();
+        assert!(by_subsystem[Subsystem::Host as usize] > 0);
+        assert!(by_subsystem[Subsystem::Transport as usize] > 0);
+        assert!(by_subsystem[Subsystem::Fabric as usize] > 0);
+        // Every event kind this scenario exercises got dispatch counts.
+        for scope in [
+            PerfScope::EvDepart,
+            PerfScope::EvArriveSwitch,
+            PerfScope::EvAckArrive,
+            PerfScope::TickHost,
+        ] {
+            assert!(r.scope_enters[scope as usize] > 0, "{}", scope.name());
+        }
     }
 
     #[test]

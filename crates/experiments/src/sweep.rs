@@ -36,8 +36,9 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use hostcc_metrics::{f2, pct, Cdf, Table};
+use hostcc_perf::{PerfHandle, PerfProfiler, PerfReport};
 use hostcc_telemetry::{Telemetry, TelemetryConfig, TelemetryHandle, TelemetrySummary};
-use hostcc_trace::{SimRateProfiler, TraceCounts, TraceFilter, TraceHandle, Tracer};
+use hostcc_trace::{SimRateProfiler, SimRateReport, TraceCounts, TraceFilter, TraceHandle, Tracer};
 
 use crate::grid::{Cell, GridSpec};
 use crate::{RunResult, Simulation};
@@ -61,6 +62,11 @@ pub struct SweepOptions {
     /// Fail the sweep with the first watchdog diagnostic if any cell
     /// violates an invariant (implies `telemetry`).
     pub strict_invariants: bool,
+    /// Give every cell a wall-clock attribution profiler
+    /// ([`hostcc_perf::PerfProfiler`]) and merge the per-cell reports into
+    /// the manifest. Wall-clock only: the profiled runs stay bit-identical
+    /// and the merged report never enters the fingerprint or the CSV.
+    pub perf: bool,
 }
 
 impl Default for SweepOptions {
@@ -71,6 +77,7 @@ impl Default for SweepOptions {
             trace_filter: TraceFilter::all(),
             telemetry: false,
             strict_invariants: false,
+            perf: false,
         }
     }
 }
@@ -257,6 +264,9 @@ pub struct CellRun {
     pub wall_secs: f64,
     /// Worker thread that ran the cell (varies run to run).
     pub worker: usize,
+    /// Per-scope wall-clock attribution (None when `SweepOptions::perf`
+    /// was off; varies run to run).
+    pub perf: Option<PerfReport>,
 }
 
 impl CellRun {
@@ -312,9 +322,13 @@ fn run_one(cell: &Cell, opts: &SweepOptions, worker: usize) -> (CellRun, Cdf, Cd
             ..Default::default()
         })));
     }
+    if opts.perf {
+        sim.set_perf(PerfHandle::new(PerfProfiler::new()));
+    }
     let profiler = SimRateProfiler::start(sim.events_processed(), sim.now());
     let result = sim.run();
     let report = profiler.finish(sim.events_processed(), sim.now());
+    let perf = sim.perf().report();
     let run = CellRun {
         index: cell.index,
         key: cell.key.clone(),
@@ -328,6 +342,7 @@ fn run_one(cell: &Cell, opts: &SweepOptions, worker: usize) -> (CellRun, Cdf, Cd
         sim_ns: report.sim_ns,
         wall_secs: report.wall_secs,
         worker,
+        perf,
     };
     (run, result.read_is_cdf, result.read_bs_cdf)
 }
@@ -396,12 +411,15 @@ pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, 
 
     let mut trace_totals = TraceCounts::default();
     let mut telemetry_totals: Option<TelemetrySummary> = None;
+    let mut perf_totals: Option<PerfReport> = None;
     let mut cell_wall_secs = 0.0;
     let mut events = 0u64;
     let mut sim_ns = 0u64;
     let mut fingerprint = FNV_OFFSET;
     // Runs are sorted by cell index, so every merge and fingerprint fold
-    // below happens in grid order regardless of worker count.
+    // below happens in grid order regardless of worker count. Wall-clock
+    // data (cell_wall_secs, perf reports) is merged but NEVER folded into
+    // the fingerprint.
     for r in &runs {
         trace_totals.merge(&r.trace);
         cell_wall_secs += r.wall_secs;
@@ -415,6 +433,9 @@ pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, 
             telemetry_totals
                 .get_or_insert_with(TelemetrySummary::default)
                 .merge(s);
+        }
+        if let Some(p) = &r.perf {
+            perf_totals.get_or_insert_with(PerfReport::default).merge(p);
         }
     }
     if opts.strict_invariants {
@@ -443,6 +464,7 @@ pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, 
         cells: runs,
         trace_totals,
         telemetry: telemetry_totals,
+        perf: perf_totals,
         wall_secs,
         cell_wall_secs,
         events,
@@ -468,6 +490,10 @@ pub struct SweepManifest {
     /// Telemetry summaries merged over all cells, in grid order (None when
     /// telemetry was off).
     pub telemetry: Option<TelemetrySummary>,
+    /// Wall-clock attribution merged over all cells (None when
+    /// `SweepOptions::perf` was off). Non-deterministic, and — like every
+    /// wall-clock field — excluded from the fingerprint and the CSV.
+    pub perf: Option<PerfReport>,
     /// Whole-sweep elapsed wall-clock seconds.
     pub wall_secs: f64,
     /// Sum of per-cell wall-clock seconds (the serial-equivalent cost).
@@ -566,13 +592,21 @@ impl SweepManifest {
         }
     }
 
+    /// The sweep-wide sim-rate view: total events and simulated time over
+    /// the elapsed wall time. Wall-clock data — non-deterministic, never
+    /// fingerprinted; the JSON export surfaces it as the `sim_rate`
+    /// sidecar block.
+    pub fn sim_rate(&self) -> SimRateReport {
+        SimRateReport {
+            wall_secs: self.wall_secs,
+            events: self.events,
+            sim_ns: self.sim_ns,
+        }
+    }
+
     /// Sweep-wide simulation rate in events per wall-clock second.
     pub fn events_per_sec(&self) -> f64 {
-        if self.wall_secs <= 0.0 {
-            0.0
-        } else {
-            self.events as f64 / self.wall_secs
-        }
+        self.sim_rate().events_per_sec()
     }
 
     /// The manifest as a JSON document (hand-rolled: the repo carries no
@@ -591,11 +625,14 @@ impl SweepManifest {
         ));
         s.push_str(&format!("  \"speedup\": {},\n", json_f64(self.speedup())));
         s.push_str(&format!("  \"events\": {},\n", self.events));
-        s.push_str(&format!(
-            "  \"events_per_sec\": {},\n",
-            json_f64(self.events_per_sec())
-        ));
         s.push_str(&format!("  \"sim_ns\": {},\n", self.sim_ns));
+        // Sim-rate sidecar: aggregate events/sec and friends, emitted by
+        // the one shared SimRateReport::to_json. Wall-clock derived, so
+        // non-deterministic — compare the CSV, not this block.
+        s.push_str(&format!("  \"sim_rate\": {},\n", self.sim_rate().to_json()));
+        if let Some(p) = &self.perf {
+            s.push_str(&format!("  \"perf\": {},\n", p.to_json()));
+        }
         s.push_str(&format!(
             "  \"fingerprint\": \"{:#018x}\",\n",
             self.fingerprint
@@ -1010,6 +1047,48 @@ mod tests {
         assert!(without.telemetry.is_none());
         assert_ne!(without.fingerprint, serial.fingerprint);
         assert!(!without.to_json().contains("telemetry_fingerprint"));
+    }
+
+    #[test]
+    fn perf_option_keeps_fingerprints_and_surfaces_sim_rate_sidecar() {
+        let spec = tiny_grid();
+        let plain = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers: 1,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        let profiled = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers: 1,
+                perf: true,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        // Profiling is wall-clock only: the deterministic outputs are
+        // bit-identical with it on.
+        assert_eq!(plain.fingerprint, profiled.fingerprint);
+        assert_eq!(plain.to_csv(), profiled.to_csv());
+        assert!(plain.perf.is_none());
+        let perf = profiled.perf.as_ref().expect("merged perf report");
+        assert!(perf.total_ns > 0);
+        assert!(perf.attributed_frac() >= 0.95);
+        // The sim_rate sidecar block comes from SimRateReport::to_json
+        // and appears regardless of the perf option; the perf block only
+        // when profiling was on.
+        for json in [plain.to_json(), profiled.to_json()] {
+            assert!(json.contains("\"sim_rate\": {\"wall_secs\": "), "{json}");
+            assert!(json.contains("\"events_per_sec\": "), "{json}");
+        }
+        assert!(!plain.to_json().contains("\"perf\": "));
+        assert!(profiled.to_json().contains("\"perf\": {\"total_ns\": "));
+        let rate = profiled.sim_rate();
+        assert_eq!(rate.events, profiled.events);
+        assert_eq!(rate.sim_ns, profiled.sim_ns);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! # hostcc-perf
+//!
+//! Performance observability for the hostCC simulation stack: where do the
+//! wall-clock nanoseconds of a run actually go, and is the simulator
+//! getting faster or slower PR over PR?
+//!
+//! Three layers:
+//!
+//! * **Attribution** — [`PerfProfiler`] behind a cloneable [`PerfHandle`]:
+//!   a scope stack the simulation loop enters and exits around every event
+//!   dispatch and host-tick phase. Attribution is *self-time* (entering a
+//!   nested scope pauses its parent), so the per-scope nanoseconds sum to
+//!   the total profiled wall time exactly. The disabled handle is a single
+//!   `Option` check; profiling only ever reads the wall clock, so profiled
+//!   runs stay bit-identical to unprofiled ones (pinned by test in
+//!   `hostcc-experiments`).
+//! * **Allocation counting** — a `CountingAllocator` global allocator
+//!   (allocs, freed, bytes, peak live heap) gated behind the
+//!   `alloc-profile` feature so default builds keep `forbid(unsafe_code)`
+//!   and pay nothing.
+//! * **Trajectory** — [`BenchReport`]: the `BENCH_<git-sha>.json` schema
+//!   the `repro bench` subcommand emits, with a registry-free JSON
+//!   parser ([`JsonValue`]) and [`compare`] for the per-workload delta
+//!   table and regression verdicts that make the performance trajectory
+//!   visible PR over PR.
+//!
+//! ## Example
+//!
+//! ```
+//! use hostcc_perf::{PerfHandle, PerfProfiler, PerfScope};
+//!
+//! let perf = PerfHandle::new(PerfProfiler::new());
+//! perf.enter(PerfScope::Engine);
+//! perf.enter(PerfScope::EvArriveSwitch); // pauses Engine
+//! perf.exit();
+//! perf.exit();
+//! let report = perf.report().unwrap();
+//! assert_eq!(report.attributed_ns(), report.total_ns);
+//! assert_eq!(report.scope_enters[PerfScope::Engine as usize], 1);
+//! ```
+
+#![cfg_attr(not(feature = "alloc-profile"), forbid(unsafe_code))]
+#![warn(missing_docs)]
+
+mod alloc;
+mod json;
+mod profile;
+mod report;
+
+#[cfg(feature = "alloc-profile")]
+pub use alloc::CountingAllocator;
+pub use alloc::{alloc_stats, reset_alloc_peak, AllocStats};
+pub use json::JsonValue;
+pub use profile::{PerfHandle, PerfProfiler, PerfReport, PerfScope, Subsystem};
+pub use report::{compare, BenchComparison, BenchDelta, BenchReport, BenchWorkload, HostMeta};

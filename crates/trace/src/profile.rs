@@ -52,6 +52,10 @@ pub struct SimRateReport {
 
 impl SimRateReport {
     /// Events popped per wall-clock second.
+    ///
+    /// All rate accessors share the same degenerate-measurement rule:
+    /// any zero (or negative, for the float) denominator yields `0.0`
+    /// rather than an `inf`/`NaN` that would poison downstream JSON.
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_secs <= 0.0 {
             return 0.0;
@@ -59,13 +63,43 @@ impl SimRateReport {
         self.events as f64 / self.wall_secs
     }
 
+    /// Simulated nanoseconds advanced per wall-clock second — the
+    /// speed-of-simulation figure the BENCH trajectory tracks (1e9 means
+    /// real time).
+    pub fn sim_ns_per_wall_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.sim_ns as f64 / self.wall_secs
+    }
+
     /// Wall-clock microseconds spent per simulated millisecond — the
     /// slowdown factor ×1000 (1000 here means real time).
     pub fn wall_us_per_sim_ms(&self) -> f64 {
-        if self.sim_ns == 0 {
+        if self.sim_ns == 0 || self.wall_secs <= 0.0 {
             return 0.0;
         }
         (self.wall_secs * 1e6) / (self.sim_ns as f64 / 1e6)
+    }
+
+    /// The one JSON emission point for sim-rate blocks (the sweep
+    /// manifest sidecar and the BENCH workload `rate` block both call
+    /// this): raw counters plus the derived rates, serde-free.
+    ///
+    /// `wall_secs` and everything derived from it are wall-clock data —
+    /// non-deterministic, and never part of any fingerprint.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"wall_secs\": {}, \"events\": {}, \"sim_ns\": {}, \
+             \"events_per_sec\": {}, \"sim_ns_per_wall_sec\": {}, \
+             \"wall_us_per_sim_ms\": {}}}",
+            fmt_f64(self.wall_secs),
+            self.events,
+            self.sim_ns,
+            fmt_f64(self.events_per_sec()),
+            fmt_f64(self.sim_ns_per_wall_sec()),
+            fmt_f64(self.wall_us_per_sim_ms()),
+        )
     }
 
     /// One-line human rendering for end-of-run output.
@@ -81,6 +115,15 @@ impl SimRateReport {
     }
 }
 
+/// Shortest round-trip float rendering; non-finite values become `null`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +136,7 @@ mod tests {
             sim_ns: 4_000_000, // 4 simulated ms
         };
         assert_eq!(r.events_per_sec(), 500_000.0);
+        assert_eq!(r.sim_ns_per_wall_sec(), 2_000_000.0);
         assert_eq!(r.wall_us_per_sim_ms(), 500_000.0);
         let line = r.render();
         assert!(line.contains("1000000 events"), "{line}");
@@ -107,8 +151,32 @@ mod tests {
             sim_ns: 0,
         };
         assert_eq!(r.events_per_sec(), 0.0);
+        assert_eq!(r.sim_ns_per_wall_sec(), 0.0);
         assert_eq!(r.wall_us_per_sim_ms(), 0.0);
         r.render();
+        // The JSON path must emit finite numbers even for the degenerate
+        // measurement (0.0, never NaN/inf/null rates).
+        let json = r.to_json();
+        assert!(json.contains("\"events_per_sec\": 0.0"), "{json}");
+        assert!(json.contains("\"sim_ns_per_wall_sec\": 0.0"), "{json}");
+    }
+
+    #[test]
+    fn json_block_carries_raw_counters_and_derived_rates() {
+        let r = SimRateReport {
+            wall_secs: 0.5,
+            events: 200,
+            sim_ns: 1_000_000,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"wall_secs\": 0.5"), "{json}");
+        assert!(json.contains("\"events\": 200"), "{json}");
+        assert!(json.contains("\"sim_ns\": 1000000"), "{json}");
+        assert!(json.contains("\"events_per_sec\": 400.0"), "{json}");
+        assert!(
+            json.contains("\"sim_ns_per_wall_sec\": 2000000.0"),
+            "{json}"
+        );
     }
 
     #[test]
