@@ -15,6 +15,7 @@
 //! repro chaos --list
 //! repro bench [--suite NAME] [--warmup N] [--iters N] [--out PATH]
 //!       [--compare BASELINE.json] [--current PATH] [--threshold PCT]
+//!       [--alloc-threshold PCT]
 //! repro bench --list
 //! ```
 //!
@@ -64,7 +65,10 @@
 //! current one (`--current PATH`, else the file for the current git sha,
 //! else the newest `BENCH_*.json`; when `--suite` is also given, against a
 //! fresh run) and exits nonzero if any workload regressed by more than
-//! `--threshold` percent (default 5). Build with
+//! `--threshold` percent (default 5), or — with `--alloc-threshold PCT` —
+//! if any workload's allocation count grew by more than that (alloc
+//! counts are deterministic, so this gate stays tight even when the
+//! baseline file came from a different machine). Build with
 //! `--features alloc-profile` to add allocator counts to the report.
 //! Scenario targets additionally accept `--profile` to print the same
 //! attribution table after a single run.
@@ -79,7 +83,7 @@ use hostcc_experiments::grid::GridSpec;
 use hostcc_experiments::resilience::run_chaos;
 use hostcc_experiments::sweep::{run_sweep, SweepOptions};
 use hostcc_experiments::{known_metrics, unknown_telemetry_prefixes, Scenario, Simulation};
-use hostcc_perf::{compare, BenchReport, PerfHandle, PerfProfiler};
+use hostcc_perf::{compare_gated, BenchReport, PerfHandle, PerfProfiler};
 use hostcc_sim::Nanos;
 use hostcc_telemetry::{
     prometheus_text, summary_json, to_jsonl, wide_csv, Telemetry, TelemetryConfig, TelemetryFilter,
@@ -138,7 +142,8 @@ fn usage() -> ExitCode {
     eprintln!("       repro chaos [--quick] [--workers N] [--out DIR] [--preset NAME | SPEC ...]");
     eprintln!(
         "       repro bench [--suite NAME] [--warmup N] [--iters N] [--out PATH] \
-         [--compare BASELINE.json] [--current PATH] [--threshold PCT]"
+         [--compare BASELINE.json] [--current PATH] [--threshold PCT] \
+         [--alloc-threshold PCT]"
     );
     eprintln!("figures: all {}", valid_figures().join(" "));
     eprintln!("scenarios: {}", valid_scenarios().join(" "));
@@ -598,7 +603,8 @@ fn chaos_main(args: &[String]) -> ExitCode {
 fn bench_usage() -> ExitCode {
     eprintln!(
         "usage: repro bench [--suite NAME] [--warmup N] [--iters N] [--out PATH] \
-         [--compare BASELINE.json] [--current PATH] [--threshold PCT]"
+         [--compare BASELINE.json] [--current PATH] [--threshold PCT] \
+         [--alloc-threshold PCT]"
     );
     eprintln!("       repro bench --list");
     eprintln!("suites:");
@@ -648,9 +654,14 @@ fn resolve_current(explicit: Option<&str>) -> Result<String, String> {
 }
 
 /// Print the delta table; nonzero exit iff a workload regressed beyond the
-/// threshold.
-fn report_comparison(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> ExitCode {
-    let cmp = compare(baseline, current, threshold);
+/// rate threshold, or grew its allocation count beyond the alloc threshold.
+fn report_comparison(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold: f64,
+    alloc_threshold: f64,
+) -> ExitCode {
+    let cmp = compare_gated(baseline, current, threshold, alloc_threshold);
     print!("{}", cmp.render());
     if cmp.regressions().is_empty() {
         ExitCode::SUCCESS
@@ -666,6 +677,7 @@ fn bench_main(args: &[String]) -> ExitCode {
     let mut baseline: Option<String> = None;
     let mut current: Option<String> = None;
     let mut threshold = 5.0f64;
+    let mut alloc_threshold = f64::INFINITY;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -727,6 +739,16 @@ fn bench_main(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--alloc-threshold" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(pct) if pct >= 0.0 => alloc_threshold = pct,
+                    _ => {
+                        eprintln!("--alloc-threshold needs a non-negative percentage");
+                        return bench_usage();
+                    }
+                }
+            }
             "--list" => {
                 println!("suites:");
                 for (name, desc) in bench::suites() {
@@ -767,7 +789,7 @@ fn bench_main(args: &[String]) -> ExitCode {
             }
         };
         println!("comparing {base_path} (baseline) vs {cur_path} (current)");
-        return report_comparison(&base, &cur, threshold);
+        return report_comparison(&base, &cur, threshold, alloc_threshold);
     }
 
     let suite = suite.unwrap_or_else(|| "smoke".to_string());
@@ -794,7 +816,7 @@ fn bench_main(args: &[String]) -> ExitCode {
             }
         };
         println!("comparing {base_path} (baseline) vs this run");
-        return report_comparison(&base, &report, threshold);
+        return report_comparison(&base, &report, threshold, alloc_threshold);
     }
     ExitCode::SUCCESS
 }

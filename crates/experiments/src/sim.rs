@@ -16,9 +16,10 @@
 use hostcc_chaos::{ChaosDriver, ChaosKind, ChaosPhase, ChaosTimeline};
 use hostcc_core::{EcnEcho, HostCc, Sample, SignalConfig, SignalSampler, TargetPolicy};
 use hostcc_fabric::{
-    Departure, EnqueueOutcome, FaultInjector, FaultOutcome, FlowId, FqLink, Packet, SwitchPort,
+    Arena, ArenaRef, Departure, EnqueueOutcome, FaultInjector, FaultOutcome, FlowId, FqLink,
+    Packet, PacketArena, PacketRef, SwitchPort,
 };
-use hostcc_host::{MsrReadModel, RxHost, TxHost, MBA_LEVELS};
+use hostcc_host::{MsrReadModel, RxHost, TickOutput, TxHost, MBA_LEVELS};
 use hostcc_metrics::Cdf;
 use hostcc_perf::{PerfHandle, PerfScope};
 use hostcc_sim::{EventQueue, Nanos, Rate, Rng};
@@ -31,26 +32,35 @@ use crate::result::{RpcResult, RunResult};
 use crate::scenario::{CcKind, Scenario};
 
 /// Simulation events.
+///
+/// Kept to 16 bytes: packets and ACK payloads live in arenas
+/// ([`Simulation::arena`] / [`Simulation::acks`]) and events carry 8-byte
+/// handles. The timing wheel copies every element it cascades, so event
+/// size is a direct hot-path cost (the old by-value variant was 88 bytes).
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// A packet's last bit left sender `sender`'s NIC.
-    Depart { sender: usize, pkt: Packet },
+    Depart { sender: u32, pkt: PacketRef },
     /// A packet's last bit arrived at the switch ingress.
-    ArriveSwitch { pkt: Packet },
+    ArriveSwitch { pkt: PacketRef },
     /// A packet's last bit arrived at the receiver NIC.
-    ArriveRxNic { pkt: Packet },
+    ArriveRxNic { pkt: PacketRef },
     /// A DMA-completed packet cleared the receive stack.
-    DeliverStack { pkt: Packet },
+    DeliverStack { pkt: PacketRef },
     /// An ACK reached the sender.
-    AckArrive {
-        flow: u32,
-        cum: u64,
-        ece: bool,
-        rwnd: u64,
-        sack: [Option<(u64, u64)>; 3],
-    },
+    AckArrive { flow: u32, ack: ArenaRef<AckMsg> },
     /// A chaos-timeline injection fires (index into the driver's schedule).
     Chaos { inj: u32 },
+}
+
+/// The payload of an in-flight [`Ev::AckArrive`], interned in
+/// [`Simulation::acks`] between the schedule and the arrival.
+#[derive(Debug, Clone, Copy)]
+struct AckMsg {
+    cum: u64,
+    ece: bool,
+    rwnd: u64,
+    sack: [Option<(u64, u64)>; 3],
 }
 
 /// Runtime state of a compiled chaos timeline: the driver plus per-event
@@ -108,6 +118,18 @@ impl ChaosRt {
 pub struct Simulation {
     cfg: Scenario,
     q: EventQueue<Ev>,
+    /// In-flight packets (events and fq queues hold handles into this).
+    /// Steady state: the arena grows to the peak in-flight population
+    /// during warm-up and never allocates again.
+    arena: PacketArena,
+    /// In-flight ACK payloads, same lifetime discipline.
+    acks: Arena<AckMsg>,
+    /// Reused host tick output (cleared and refilled by `tick_into`).
+    tick_out: TickOutput,
+    /// Reused pump-flow burst buffer for `FqLink::enqueue_burst`.
+    burst: Vec<(PacketRef, u64)>,
+    /// Reused TX-DMA release buffer for `TxHost::tick_into`.
+    tx_release: Vec<Packet>,
     senders: Vec<FqLink>,
     /// Sender-side host model at sender 0 (None unless
     /// `sender_mapp_degree > 0`).
@@ -319,6 +341,11 @@ impl Simulation {
 
         Simulation {
             q,
+            arena: PacketArena::new(),
+            acks: Arena::new(),
+            tick_out: TickOutput::default(),
+            burst: Vec::new(),
+            tx_release: Vec::new(),
             senders,
             tx_host,
             tx_hostcc,
@@ -507,11 +534,15 @@ impl Simulation {
             Ev::Depart { sender, pkt } => {
                 self.q
                     .schedule(now + self.cfg.link_prop, Ev::ArriveSwitch { pkt });
-                if let Some(Departure { at, pkt }) = self.senders[sender].on_depart(now) {
+                if let Some(Departure { at, pkt }) = self.senders[sender as usize].on_depart(now) {
                     self.q.schedule(at, Ev::Depart { sender, pkt });
                 }
             }
-            Ev::ArriveSwitch { mut pkt } => {
+            Ev::ArriveSwitch { pkt } => {
+                // Every drop path below must free the arena slot — an
+                // interned packet has exactly one owner, and on a drop the
+                // owner is this handler.
+                let flow = self.arena.get(pkt).flow.0;
                 // Burst-loss chaos windows: every open burst draws for every
                 // packet (streams stay aligned however the other bursts
                 // land); any hit drops the packet before the switch.
@@ -524,8 +555,9 @@ impl Simulation {
                     }
                     if hit {
                         c.drops += 1;
+                        self.arena.remove(pkt);
                         self.trace.emit(now, || TraceEvent::PacketDrop {
-                            flow: pkt.flow.0,
+                            flow,
                             locus: DropLocus::Fault,
                         });
                         return;
@@ -533,8 +565,9 @@ impl Simulation {
                 }
                 match self.fault.apply() {
                     FaultOutcome::Drop => {
+                        self.arena.remove(pkt);
                         self.trace.emit(now, || TraceEvent::PacketDrop {
-                            flow: pkt.flow.0,
+                            flow,
                             locus: DropLocus::Fault,
                         });
                         return;
@@ -544,28 +577,29 @@ impl Simulation {
                         // checksum; they still traverse the switch, but we
                         // short-circuit the host datapath for simplicity.
                         self.corrupt_drops += 1;
+                        self.arena.remove(pkt);
                         self.trace.emit(now, || TraceEvent::PacketDrop {
-                            flow: pkt.flow.0,
+                            flow,
                             locus: DropLocus::Fault,
                         });
                         return;
                     }
                     FaultOutcome::Pass => {}
                 }
-                match self.switch.enqueue(now, pkt.wire_bytes()) {
+                let wire_bytes = self.arena.get(pkt).wire_bytes();
+                match self.switch.enqueue(now, wire_bytes) {
                     EnqueueOutcome::Dropped => {
+                        self.arena.remove(pkt);
                         self.trace.emit(now, || TraceEvent::PacketDrop {
-                            flow: pkt.flow.0,
+                            flow,
                             locus: DropLocus::Switch,
                         });
                     }
                     EnqueueOutcome::Enqueued { departs, marked } => {
                         if marked {
-                            pkt.mark_ce();
-                            self.trace.emit(now, || TraceEvent::EcnMark {
-                                flow: pkt.flow.0,
-                                host: false,
-                            });
+                            self.arena.get_mut(pkt).mark_ce();
+                            self.trace
+                                .emit(now, || TraceEvent::EcnMark { flow, host: false });
                         }
                         self.q
                             .schedule(departs + self.cfg.link_prop, Ev::ArriveRxNic { pkt });
@@ -574,9 +608,13 @@ impl Simulation {
             }
             Ev::ArriveRxNic { pkt } => {
                 // NIC buffer admission; drops are counted inside the host.
+                // The packet leaves the arena here: the host datapath moves
+                // it by value and phase 3 of `tick` re-interns survivors.
+                let pkt = self.arena.remove(pkt);
                 let _ = self.rx.on_wire_arrival(pkt, now);
             }
             Ev::DeliverStack { pkt } => {
+                let pkt = self.arena.remove(pkt);
                 let idx = pkt.flow.0 as usize;
                 let ack = self.recvs[idx].on_data(&pkt, now);
                 self.last_advertised_rwnd[idx] = ack.rwnd;
@@ -587,26 +625,24 @@ impl Simulation {
                         }
                     }
                 }
+                let msg = self.acks.insert(AckMsg {
+                    cum: ack.cum_ack,
+                    ece: ack.ece,
+                    rwnd: ack.rwnd,
+                    sack: ack.sack,
+                });
                 self.q.schedule(
                     now + self.ack_delay_of_flow[idx],
                     Ev::AckArrive {
                         flow: pkt.flow.0,
-                        cum: ack.cum_ack,
-                        ece: ack.ece,
-                        rwnd: ack.rwnd,
-                        sack: ack.sack,
+                        ack: msg,
                     },
                 );
             }
-            Ev::AckArrive {
-                flow,
-                cum,
-                ece,
-                rwnd,
-                sack,
-            } => {
+            Ev::AckArrive { flow, ack } => {
+                let m = self.acks.remove(ack);
                 let idx = flow as usize;
-                self.flows[idx].on_ack_sack(now, cum, ece, rwnd, &sack);
+                self.flows[idx].on_ack_sack(now, m.cum, m.ece, m.rwnd, &m.sack);
                 self.pump_flow(idx, now);
             }
             Ev::Chaos { inj } => self.handle_chaos(now, inj as usize),
@@ -647,7 +683,13 @@ impl Simulation {
                     if c.link_down == 0 {
                         for s in 0..self.senders.len() {
                             if let Some(Departure { at, pkt }) = self.senders[s].kick(now) {
-                                self.q.schedule(at, Ev::Depart { sender: s, pkt });
+                                self.q.schedule(
+                                    at,
+                                    Ev::Depart {
+                                        sender: s as u32,
+                                        pkt,
+                                    },
+                                );
                             }
                         }
                     }
@@ -743,18 +785,39 @@ impl Simulation {
 
     fn pump_flow(&mut self, idx: usize, now: Nanos) {
         let sender = self.sender_of_flow[idx];
-        while let Some(pkt) = self.flows[idx].poll_send(now) {
-            // Sender 0 may route through the sender host model (TX DMA).
-            if sender == 0 {
-                if let Some(tx) = &mut self.tx_host {
+        // Sender 0 may route through the sender host model (TX DMA).
+        if sender == 0 {
+            if let Some(tx) = &mut self.tx_host {
+                while let Some(pkt) = self.flows[idx].poll_send(now) {
                     tx.enqueue(pkt);
-                    continue;
                 }
-            }
-            if let Some(Departure { at, pkt }) = self.senders[sender].enqueue(now, pkt) {
-                self.q.schedule(at, Ev::Depart { sender, pkt });
+                return;
             }
         }
+        // Intern the whole send burst, then hand it to the fq link in one
+        // call. Bit-identical to per-packet enqueue: every packet lands in
+        // the same per-flow FIFO, and the one possible departure (link was
+        // idle) is the first packet's either way.
+        debug_assert!(self.burst.is_empty());
+        let mut flow = FlowId(idx as u32);
+        while let Some(pkt) = self.flows[idx].poll_send(now) {
+            flow = pkt.flow;
+            let bytes = pkt.wire_bytes();
+            self.burst.push((self.arena.insert(pkt), bytes));
+        }
+        let mut burst = std::mem::take(&mut self.burst);
+        if let Some(Departure { at, pkt }) =
+            self.senders[sender].enqueue_burst(now, flow, &mut burst)
+        {
+            self.q.schedule(
+                at,
+                Ev::Depart {
+                    sender: sender as u32,
+                    pkt,
+                },
+            );
+        }
+        self.burst = burst;
     }
 
     fn tick(&mut self, now: Nanos) {
@@ -778,20 +841,30 @@ impl Simulation {
         }
 
         // 0. Sender host datapath: TX DMA releases packets to the NIC.
-        if let Some(tx) = &mut self.tx_host {
-            for pkt in tx.tick(now) {
-                if let Some(Departure { at, pkt }) = self.senders[0].enqueue(now, pkt) {
+        if self.tx_host.is_some() {
+            let mut released = std::mem::take(&mut self.tx_release);
+            released.clear();
+            if let Some(tx) = &mut self.tx_host {
+                tx.tick_into(now, &mut released);
+            }
+            for pkt in released.drain(..) {
+                let flow = pkt.flow;
+                let bytes = pkt.wire_bytes();
+                let r = self.arena.insert(pkt);
+                if let Some(Departure { at, pkt }) = self.senders[0].enqueue(now, flow, bytes, r) {
                     self.q.schedule(at, Ev::Depart { sender: 0, pkt });
                 }
             }
-            if let Some(hc) = &mut self.tx_hostcc {
+            self.tx_release = released;
+            if let (Some(tx), Some(hc)) = (&mut self.tx_host, &mut self.tx_hostcc) {
                 let (msr, mba) = tx.msr_and_mba();
                 hc.on_tick(now, msr, mba);
             }
         }
 
-        // 1. Host datapath.
-        let out = self.rx.tick(now);
+        // 1. Host datapath (into the reused tick-output buffer).
+        let mut out = std::mem::take(&mut self.tick_out);
+        self.rx.tick_into(now, &mut out);
         self.perf.exit();
 
         // 2. hostCC control loop.
@@ -816,8 +889,9 @@ impl Simulation {
         // Transport phase: deliveries, application reads and window
         // reopening (phases 3–5 below).
         self.perf.enter(PerfScope::TickTransport);
-        // 3. Deliveries: receiver-side ECN echo, then up the stack.
-        for d in out.delivered {
+        // 3. Deliveries: receiver-side ECN echo, then up the stack (the
+        //    packet re-enters the arena for its stack-delay flight).
+        for d in out.delivered.drain(..) {
             let mut pkt = d.pkt;
             let was_ce = pkt.ecn.is_ce();
             self.echo.process(&mut pkt, mark);
@@ -827,13 +901,18 @@ impl Simulation {
                     host: true,
                 });
             }
-            self.q
-                .schedule(now + self.cfg.rx_stack_delay, Ev::DeliverStack { pkt });
+            self.q.schedule(
+                now + self.cfg.rx_stack_delay,
+                Ev::DeliverStack {
+                    pkt: self.arena.insert(pkt),
+                },
+            );
         }
 
         // 4. Copy engine drain → per-flow application reads → goodput and
         //    receive-window reopening.
         self.copied_carry += out.copied_app_bytes;
+        self.tick_out = out;
         if self.copied_carry >= 1.0 {
             let total_unconsumed: u64 = self.recvs.iter().map(|r| r.unconsumed()).sum();
             if total_unconsumed > 0 {
@@ -871,14 +950,17 @@ impl Simulation {
             let rwnd = self.recvs[i].rwnd();
             if self.last_advertised_rwnd[i] < mss && rwnd >= mss {
                 self.last_advertised_rwnd[i] = rwnd;
+                let msg = self.acks.insert(AckMsg {
+                    cum: self.recvs[i].cum_ack(),
+                    ece: false,
+                    rwnd,
+                    sack: [None; 3],
+                });
                 self.q.schedule(
                     now + self.ack_delay_of_flow[i],
                     Ev::AckArrive {
                         flow: i as u32,
-                        cum: self.recvs[i].cum_ack(),
-                        ece: false,
-                        rwnd,
-                        sack: [None; 3],
+                        ack: msg,
                     },
                 );
             }

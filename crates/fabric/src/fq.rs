@@ -8,34 +8,41 @@
 //! by NetApp-T's self-inflicted sender-side queueing — an artifact real
 //! Linux does not have.
 //!
+//! Hot-path notes: queues hold [`PacketRef`] arena handles plus a cached
+//! wire-byte count, not packets by value, and are indexed by the dense
+//! `FlowId` directly — no hashing, no per-packet allocation once each
+//! flow's ring has reached its high-water capacity.
+//!
 //! Event integration: `enqueue` returns a departure to schedule if the
 //! link was idle; on each departure event the driver calls `on_depart` to
 //! obtain the next one. Exactly one departure event is outstanding per
 //! busy link.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use hostcc_sim::{Nanos, Rate};
 
-use crate::packet::{FlowId, Packet};
+use crate::packet::{FlowId, PacketRef};
 
 /// A departure the driver must schedule.
 #[derive(Debug, Clone, Copy)]
 pub struct Departure {
     /// When the packet's last bit leaves the sender NIC.
     pub at: Nanos,
-    /// The departing packet.
-    pub pkt: Packet,
+    /// The departing packet (resolve against the driver's arena).
+    pub pkt: PacketRef,
 }
 
 /// A fair-queueing link (sender NIC + qdisc).
 #[derive(Debug)]
 pub struct FqLink {
     rate: Rate,
-    /// Per-flow FIFO queues.
-    queues: HashMap<FlowId, VecDeque<Packet>>,
+    /// Per-flow FIFO queues of (handle, wire bytes), indexed by `FlowId.0`.
+    queues: Vec<VecDeque<(PacketRef, u64)>>,
+    /// Queued bytes per flow, same indexing (O(1) [`FqLink::flow_backlog`]).
+    flow_bytes: Vec<u64>,
     /// Round-robin order over flows with queued packets.
-    active: VecDeque<FlowId>,
+    active: VecDeque<u32>,
     /// In-service packet's departure time, if transmitting.
     in_service_until: Option<Nanos>,
     /// Whether the link is up. A down link keeps queueing but starts no
@@ -53,7 +60,8 @@ impl FqLink {
         assert!(!rate.is_zero());
         FqLink {
             rate,
-            queues: HashMap::new(),
+            queues: Vec::new(),
+            flow_bytes: Vec::new(),
             active: VecDeque::new(),
             in_service_until: None,
             up: true,
@@ -106,22 +114,65 @@ impl FqLink {
 
     /// Bytes queued for one flow.
     pub fn flow_backlog(&self, flow: FlowId) -> u64 {
-        self.queues
-            .get(&flow)
-            .map(|q| q.iter().map(|p| p.wire_bytes()).sum())
-            .unwrap_or(0)
+        self.flow_bytes.get(flow.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Grow the per-flow tables to cover `flow` (first sighting only).
+    fn ensure_flow(&mut self, flow: FlowId) -> usize {
+        let idx = flow.0 as usize;
+        if idx >= self.queues.len() {
+            self.queues.resize_with(idx + 1, VecDeque::new);
+            self.flow_bytes.resize(idx + 1, 0);
+        }
+        idx
     }
 
     /// Offer a packet at `now`. If the link was idle the packet enters
     /// service immediately and its departure is returned for scheduling.
-    pub fn enqueue(&mut self, now: Nanos, pkt: Packet) -> Option<Departure> {
-        let flow = pkt.flow;
-        let q = self.queues.entry(flow).or_default();
-        if q.is_empty() {
-            self.active.push_back(flow);
+    ///
+    /// `wire_bytes` is the packet's on-wire size; the link caches it with
+    /// the handle so serving packets never touches the arena.
+    pub fn enqueue(
+        &mut self,
+        now: Nanos,
+        flow: FlowId,
+        wire_bytes: u64,
+        pkt: PacketRef,
+    ) -> Option<Departure> {
+        let idx = self.ensure_flow(flow);
+        if self.queues[idx].is_empty() {
+            self.active.push_back(flow.0);
         }
-        self.backlog_bytes += pkt.wire_bytes();
-        q.push_back(pkt);
+        self.backlog_bytes += wire_bytes;
+        self.flow_bytes[idx] += wire_bytes;
+        self.queues[idx].push_back((pkt, wire_bytes));
+        if self.in_service_until.is_none() {
+            return self.start_next(now);
+        }
+        None
+    }
+
+    /// Offer a same-flow batch at `now`, draining `pkts`. Equivalent to
+    /// calling [`FqLink::enqueue`] once per element (only the first call
+    /// can return a departure — the link is busy from then on), but does
+    /// the active-list and byte accounting once for the whole burst.
+    pub fn enqueue_burst(
+        &mut self,
+        now: Nanos,
+        flow: FlowId,
+        pkts: &mut Vec<(PacketRef, u64)>,
+    ) -> Option<Departure> {
+        if pkts.is_empty() {
+            return None;
+        }
+        let idx = self.ensure_flow(flow);
+        if self.queues[idx].is_empty() {
+            self.active.push_back(flow.0);
+        }
+        let burst_bytes: u64 = pkts.iter().map(|&(_, b)| b).sum();
+        self.backlog_bytes += burst_bytes;
+        self.flow_bytes[idx] += burst_bytes;
+        self.queues[idx].extend(pkts.drain(..));
         if self.in_service_until.is_none() {
             return self.start_next(now);
         }
@@ -141,17 +192,18 @@ impl FqLink {
         }
         let flow = loop {
             let f = self.active.pop_front()?;
-            if self.queues.get(&f).is_some_and(|q| !q.is_empty()) {
+            if !self.queues[f as usize].is_empty() {
                 break f;
             }
         };
-        let q = self.queues.get_mut(&flow).expect("active flow has a queue");
-        let pkt = q.pop_front().expect("non-empty");
+        let q = &mut self.queues[flow as usize];
+        let (pkt, wire_bytes) = q.pop_front().expect("non-empty");
         if !q.is_empty() {
             self.active.push_back(flow); // round-robin re-arm
         }
-        self.backlog_bytes -= pkt.wire_bytes();
-        let at = now + self.rate.time_for_bytes(pkt.wire_bytes());
+        self.backlog_bytes -= wire_bytes;
+        self.flow_bytes[flow as usize] -= wire_bytes;
+        let at = now + self.rate.time_for_bytes(wire_bytes);
         self.in_service_until = Some(at);
         self.sent += 1;
         Some(Departure { at, pkt })
@@ -161,9 +213,14 @@ impl FqLink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::{Packet, PacketArena};
 
-    fn pkt(flow: u32, id: u64, len: u32) -> Packet {
-        Packet::data(id, FlowId(flow), 0, len, false, Nanos::ZERO)
+    /// Intern a data packet; returns (flow, wire bytes, handle) ready to
+    /// feed straight into `enqueue`.
+    fn pkt(arena: &mut PacketArena, flow: u32, id: u64, len: u32) -> (FlowId, u64, PacketRef) {
+        let p = Packet::data(id, FlowId(flow), 0, len, false, Nanos::ZERO);
+        let bytes = p.wire_bytes();
+        (FlowId(flow), bytes, arena.insert(p))
     }
 
     fn link() -> FqLink {
@@ -172,39 +229,46 @@ mod tests {
 
     #[test]
     fn idle_link_starts_service_immediately() {
+        let mut arena = PacketArena::new();
         let mut l = link();
-        let d = l.enqueue(Nanos::ZERO, pkt(0, 1, 4030)).expect("departure");
+        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
+        let d = l.enqueue(Nanos::ZERO, f, b, r).expect("departure");
         assert_eq!(d.at, Nanos::from_nanos(328)); // 4096 B at 12.5 B/ns
-        assert_eq!(d.pkt.id, 1);
+        assert_eq!(arena.get(d.pkt).id, 1);
     }
 
     #[test]
     fn busy_link_queues() {
+        let mut arena = PacketArena::new();
         let mut l = link();
-        l.enqueue(Nanos::ZERO, pkt(0, 1, 4030)).unwrap();
-        assert!(l.enqueue(Nanos::ZERO, pkt(0, 2, 4030)).is_none());
+        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
+        l.enqueue(Nanos::ZERO, f, b, r).unwrap();
+        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
+        assert!(l.enqueue(Nanos::ZERO, f, b, r).is_none());
         assert_eq!(l.backlog_bytes(), 4096);
         // Departure of #1 starts #2.
         let d2 = l.on_depart(Nanos::from_nanos(328)).expect("next");
-        assert_eq!(d2.pkt.id, 2);
+        assert_eq!(arena.get(d2.pkt).id, 2);
         assert_eq!(d2.at, Nanos::from_nanos(656));
         assert!(l.on_depart(d2.at).is_none(), "drained");
     }
 
     #[test]
     fn round_robin_interleaves_flows() {
+        let mut arena = PacketArena::new();
         let mut l = link();
         // Flow 0 dumps 4 packets, then flow 1 enqueues one: flow 1 must be
         // served after at most one more flow-0 packet.
-        l.enqueue(Nanos::ZERO, pkt(0, 1, 4030)).unwrap();
-        for i in 2..=4 {
-            l.enqueue(Nanos::ZERO, pkt(0, i, 4030));
+        for i in 1..=4 {
+            let (f, b, r) = pkt(&mut arena, 0, i, 4030);
+            l.enqueue(Nanos::ZERO, f, b, r);
         }
-        l.enqueue(Nanos::ZERO, pkt(1, 100, 100));
+        let (f, b, r) = pkt(&mut arena, 1, 100, 100);
+        l.enqueue(Nanos::ZERO, f, b, r);
         let mut order = Vec::new();
         let mut t = Nanos::from_nanos(328);
         while let Some(d) = l.on_depart(t) {
-            order.push(d.pkt.id);
+            order.push(arena.get(d.pkt).id);
             t = d.at;
         }
         // Flow 1's packet (#100) comes out after at most one more flow-0
@@ -214,42 +278,52 @@ mod tests {
 
     #[test]
     fn per_flow_backlog_accounting() {
+        let mut arena = PacketArena::new();
         let mut l = link();
-        l.enqueue(Nanos::ZERO, pkt(0, 1, 4030)); // in service
-        l.enqueue(Nanos::ZERO, pkt(0, 2, 4030));
-        l.enqueue(Nanos::ZERO, pkt(1, 3, 100));
+        let (f, b, r) = pkt(&mut arena, 0, 1, 4030); // in service
+        l.enqueue(Nanos::ZERO, f, b, r);
+        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
+        l.enqueue(Nanos::ZERO, f, b, r);
+        let (f, b, r) = pkt(&mut arena, 1, 3, 100);
+        l.enqueue(Nanos::ZERO, f, b, r);
         assert_eq!(l.flow_backlog(FlowId(0)), 4096);
         assert_eq!(l.flow_backlog(FlowId(1)), 166);
+        assert_eq!(l.flow_backlog(FlowId(9)), 0, "unknown flow");
     }
 
     #[test]
     fn work_conserving_across_gaps() {
+        let mut arena = PacketArena::new();
         let mut l = link();
-        let d = l.enqueue(Nanos::ZERO, pkt(0, 1, 4030)).unwrap();
+        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
+        let d = l.enqueue(Nanos::ZERO, f, b, r).unwrap();
         assert!(l.on_depart(d.at).is_none());
         // Much later, a new packet starts immediately.
-        let d2 = l
-            .enqueue(Nanos::from_millis(1), pkt(0, 2, 4030))
-            .expect("starts");
+        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
+        let d2 = l.enqueue(Nanos::from_millis(1), f, b, r).expect("starts");
         assert_eq!(d2.at, Nanos::from_millis(1) + Nanos::from_nanos(328));
     }
 
     #[test]
     fn down_link_queues_and_kick_resumes() {
+        let mut arena = PacketArena::new();
         let mut l = link();
         // Packet in service, one queued; link goes down mid-service.
-        let d1 = l.enqueue(Nanos::ZERO, pkt(0, 1, 4030)).unwrap();
-        l.enqueue(Nanos::ZERO, pkt(0, 2, 4030));
+        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
+        let d1 = l.enqueue(Nanos::ZERO, f, b, r).unwrap();
+        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
+        l.enqueue(Nanos::ZERO, f, b, r);
         l.set_down();
         assert!(!l.is_up());
         // The in-flight packet still departs, but nothing new starts.
         assert!(l.on_depart(d1.at).is_none());
         // New arrivals queue silently while down.
-        assert!(l.enqueue(Nanos::from_micros(1), pkt(0, 3, 4030)).is_none());
+        let (f, b, r) = pkt(&mut arena, 0, 3, 4030);
+        assert!(l.enqueue(Nanos::from_micros(1), f, b, r).is_none());
         assert_eq!(l.backlog_bytes(), 2 * 4096);
         // Kick at link-up: service resumes with the head-of-line packet.
         let d2 = l.kick(Nanos::from_micros(5)).expect("resumes");
-        assert_eq!(d2.pkt.id, 2);
+        assert_eq!(arena.get(d2.pkt).id, 2);
         assert_eq!(d2.at, Nanos::from_micros(5) + Nanos::from_nanos(328));
         // Kicking an already-busy link is a no-op.
         assert!(l.kick(Nanos::from_micros(5)).is_none());
@@ -257,20 +331,25 @@ mod tests {
 
     #[test]
     fn kick_on_idle_empty_link_is_noop() {
+        let mut arena = PacketArena::new();
         let mut l = link();
         l.set_down();
         assert!(l.kick(Nanos::from_micros(1)).is_none());
         assert!(l.is_up());
         // Normal service afterwards.
-        assert!(l.enqueue(Nanos::from_micros(2), pkt(0, 1, 4030)).is_some());
+        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
+        assert!(l.enqueue(Nanos::from_micros(2), f, b, r).is_some());
     }
 
     #[test]
     fn rate_change_applies_to_next_service() {
+        let mut arena = PacketArena::new();
         let mut l = link();
-        let d1 = l.enqueue(Nanos::ZERO, pkt(0, 1, 4030)).unwrap();
+        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
+        let d1 = l.enqueue(Nanos::ZERO, f, b, r).unwrap();
         assert_eq!(d1.at, Nanos::from_nanos(328));
-        l.enqueue(Nanos::ZERO, pkt(0, 2, 4030));
+        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
+        l.enqueue(Nanos::ZERO, f, b, r);
         // Halve the rate: the in-flight packet keeps its departure, the
         // next one serializes in twice the time.
         l.set_rate(Rate::gbps(50.0));
@@ -282,21 +361,23 @@ mod tests {
 
     #[test]
     fn many_flows_fair_share() {
+        let mut arena = PacketArena::new();
         let mut l = link();
         // 3 flows × 10 packets each, all equal size.
         let mut first = None;
         for i in 0..10u64 {
-            for f in 0..3u32 {
-                let d = l.enqueue(Nanos::ZERO, pkt(f, u64::from(f) * 100 + i, 4030));
+            for fl in 0..3u32 {
+                let (f, b, r) = pkt(&mut arena, fl, u64::from(fl) * 100 + i, 4030);
+                let d = l.enqueue(Nanos::ZERO, f, b, r);
                 if d.is_some() {
                     first = d;
                 }
             }
         }
         let mut t = first.unwrap().at;
-        let mut seen = vec![first.unwrap().pkt.flow];
+        let mut seen = vec![arena.get(first.unwrap().pkt).flow];
         while let Some(d) = l.on_depart(t) {
-            seen.push(d.pkt.flow);
+            seen.push(arena.get(d.pkt).flow);
             t = d.at;
         }
         assert_eq!(seen.len(), 30);
@@ -306,5 +387,72 @@ mod tests {
             fs.sort_unstable();
             assert_eq!(fs, [0, 1, 2], "seen={seen:?}");
         }
+    }
+
+    #[test]
+    fn burst_enqueue_matches_singles() {
+        // Same packet sequence via enqueue_burst vs one-at-a-time enqueue:
+        // identical departure order and identical accounting.
+        let mut arena = PacketArena::new();
+        let mut single = link();
+        let mut burst = link();
+        let mut batch = Vec::new();
+        let mut first_single = None;
+        for i in 1..=5u64 {
+            let (f, b, r) = pkt(&mut arena, 0, i, 4030);
+            let d = single.enqueue(Nanos::ZERO, f, b, r);
+            if d.is_some() {
+                first_single = d;
+            }
+            let (_, b2, r2) = pkt(&mut arena, 0, i, 4030);
+            batch.push((r2, b2));
+        }
+        let first_burst = burst.enqueue_burst(Nanos::ZERO, FlowId(0), &mut batch);
+        assert!(batch.is_empty(), "burst drains its input");
+        let (ds, db) = (first_single.unwrap(), first_burst.unwrap());
+        assert_eq!(ds.at, db.at);
+        assert_eq!(arena.get(ds.pkt).id, arena.get(db.pkt).id);
+        assert_eq!(single.backlog_bytes(), burst.backlog_bytes());
+        assert_eq!(
+            single.flow_backlog(FlowId(0)),
+            burst.flow_backlog(FlowId(0))
+        );
+        let mut t = ds.at;
+        loop {
+            let (a, b) = (single.on_depart(t), burst.on_depart(t));
+            match (a, b) {
+                (None, None) => break,
+                (Some(da), Some(db)) => {
+                    assert_eq!(da.at, db.at);
+                    assert_eq!(arena.get(da.pkt).id, arena.get(db.pkt).id);
+                    t = da.at;
+                }
+                _ => panic!("departure streams diverged"),
+            }
+        }
+        assert_eq!(single.sent, burst.sent);
+    }
+
+    #[test]
+    fn burst_on_busy_link_returns_none() {
+        let mut arena = PacketArena::new();
+        let mut l = link();
+        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
+        l.enqueue(Nanos::ZERO, f, b, r).unwrap();
+        let mut batch = Vec::new();
+        for i in 2..=3u64 {
+            let (_, b2, r2) = pkt(&mut arena, 0, i, 4030);
+            batch.push((r2, b2));
+        }
+        assert!(l
+            .enqueue_burst(Nanos::ZERO, FlowId(0), &mut batch)
+            .is_none());
+        assert_eq!(l.backlog_bytes(), 2 * 4096);
+        // Empty burst is a no-op even on an idle link.
+        let mut empty = Vec::new();
+        let mut idle = link();
+        assert!(idle
+            .enqueue_burst(Nanos::ZERO, FlowId(0), &mut empty)
+            .is_none());
     }
 }

@@ -29,5 +29,7 @@ mod switch;
 pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
 pub use fq::{Departure, FqLink};
 pub use link::Link;
-pub use packet::{EcnCodepoint, FlowId, Packet, PacketBody, HEADER_BYTES};
+pub use packet::{
+    Arena, ArenaRef, EcnCodepoint, FlowId, Packet, PacketArena, PacketBody, PacketRef, HEADER_BYTES,
+};
 pub use switch::{EnqueueOutcome, SwitchPort, SwitchPortConfig};

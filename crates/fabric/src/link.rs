@@ -57,6 +57,27 @@ impl Link {
         (done, done + self.propagation)
     }
 
+    /// Transmit a same-timestamp batch, appending each packet's
+    /// `(transmit_complete, arrival)` pair to `out`.
+    ///
+    /// Exactly equivalent to calling [`Link::transmit`] once per entry in
+    /// order (per-packet serialization ceilings included — this is *not* a
+    /// single `sum(bytes)` transmit, which would round differently), but a
+    /// single call per burst instead of one dispatch per packet.
+    pub fn transmit_batch(&mut self, now: Nanos, bytes: &[u64], out: &mut Vec<(Nanos, Nanos)>) {
+        out.reserve(bytes.len());
+        let mut start = now.max(self.busy_until);
+        for &b in bytes {
+            let done = start + self.rate.time_for_bytes(b);
+            self.bytes_sent += b;
+            out.push((done, done + self.propagation));
+            start = done;
+        }
+        if !bytes.is_empty() {
+            self.busy_until = start;
+        }
+    }
+
     /// When the transmitter next becomes free.
     pub fn busy_until(&self) -> Nanos {
         self.busy_until
@@ -123,6 +144,28 @@ mod tests {
         l.transmit(Nanos::ZERO, 1000);
         l.transmit(Nanos::ZERO, 500);
         assert_eq!(l.bytes_sent(), 1500);
+    }
+
+    #[test]
+    fn batch_matches_sequential_transmits() {
+        let sizes = [4096u64, 100, 1501, 66, 9000];
+        let mut seq = link_100g();
+        let mut batch = link_100g();
+        // Pre-load both with one packet so the batch starts against a busy
+        // transmitter.
+        seq.transmit(Nanos::ZERO, 4096);
+        batch.transmit(Nanos::ZERO, 4096);
+        let now = Nanos::from_nanos(100);
+        let expected: Vec<(Nanos, Nanos)> = sizes.iter().map(|&b| seq.transmit(now, b)).collect();
+        let mut got = Vec::new();
+        batch.transmit_batch(now, &sizes, &mut got);
+        assert_eq!(got, expected);
+        assert_eq!(batch.busy_until(), seq.busy_until());
+        assert_eq!(batch.bytes_sent(), seq.bytes_sent());
+        // Empty batch leaves the link untouched.
+        batch.transmit_batch(now, &[], &mut got);
+        assert_eq!(got.len(), sizes.len());
+        assert_eq!(batch.busy_until(), seq.busy_until());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property-based tests for the fabric crate.
 
 use hostcc_fabric::{
-    Departure, EnqueueOutcome, FlowId, FqLink, Link, Packet, SwitchPort, SwitchPortConfig,
+    Departure, EnqueueOutcome, FlowId, FqLink, Link, Packet, PacketArena, SwitchPort,
+    SwitchPortConfig,
 };
 use hostcc_sim::{Nanos, Rate, Rng};
 use proptest::prelude::*;
@@ -19,11 +20,14 @@ proptest! {
         pkts in prop::collection::vec((0u32..5, 100u32..9000), 1..120),
     ) {
         let rate = Rate::gbps(100.0);
+        let mut arena = PacketArena::new();
         let mut l = FqLink::new(rate);
         let mut pending: Option<Departure> = None;
         let mut departed = Vec::new();
         for (i, &(flow, len)) in pkts.iter().enumerate() {
-            if let Some(d) = l.enqueue(Nanos::ZERO, pkt(flow, i as u64, len)) {
+            let p = pkt(flow, i as u64, len);
+            let bytes = p.wire_bytes();
+            if let Some(d) = l.enqueue(Nanos::ZERO, p.flow, bytes, arena.insert(p)) {
                 prop_assert!(pending.is_none(), "two in service at once");
                 pending = Some(d);
             }
@@ -31,11 +35,14 @@ proptest! {
         let mut last = Nanos::ZERO;
         while let Some(d) = pending {
             prop_assert!(d.at >= last);
+            // Consume the departing packet (arena slot is freed exactly
+            // once per enqueue — a double-depart would panic here).
+            let p = arena.remove(d.pkt);
             // Spacing: this packet needed at least its serialization time.
-            let ser = rate.time_for_bytes(d.pkt.wire_bytes());
+            let ser = rate.time_for_bytes(p.wire_bytes());
             prop_assert!(d.at >= last + ser - Nanos::from_nanos(1) || last == Nanos::ZERO);
             last = d.at;
-            departed.push(d.pkt.id);
+            departed.push(p.id);
             pending = l.on_depart(d.at);
         }
         prop_assert_eq!(departed.len(), pkts.len(), "conservation");
@@ -44,30 +51,86 @@ proptest! {
         sorted.dedup();
         prop_assert_eq!(sorted.len(), pkts.len(), "no duplicates");
         prop_assert_eq!(l.backlog_bytes(), 0);
+        prop_assert!(arena.is_empty(), "every interned packet was consumed");
     }
 
     /// FqLink fairness: with two continuously backlogged flows of equal
     /// packet size, departures alternate (max run length 2 at the start).
     #[test]
     fn fq_link_round_robin_fairness(n in 4usize..40) {
+        let mut arena = PacketArena::new();
         let mut l = FqLink::new(Rate::gbps(100.0));
         let mut pending = None;
         for i in 0..n {
             for f in 0..2u32 {
-                if let Some(d) = l.enqueue(Nanos::ZERO, pkt(f, (f as u64) << 32 | i as u64, 1500)) {
+                let p = pkt(f, (f as u64) << 32 | i as u64, 1500);
+                let bytes = p.wire_bytes();
+                if let Some(d) = l.enqueue(Nanos::ZERO, p.flow, bytes, arena.insert(p)) {
                     pending = Some(d);
                 }
             }
         }
         let mut flows = Vec::new();
         while let Some(d) = pending {
-            flows.push(d.pkt.flow.0);
+            flows.push(arena.remove(d.pkt).flow.0);
             pending = l.on_depart(d.at);
         }
         // No flow is ever served 3 times in a row.
         for w in flows.windows(3) {
             prop_assert!(!(w[0] == w[1] && w[1] == w[2]), "run of 3: {flows:?}");
         }
+    }
+
+    /// Burst enqueue ≡ singles: the same same-flow packet sequence fed via
+    /// `enqueue_burst` produces departures identical to one `enqueue` per
+    /// packet.
+    #[test]
+    fn fq_burst_equals_singles(
+        lens in prop::collection::vec(100u32..9000, 1..60),
+        flow in 0u32..4,
+    ) {
+        let mut arena = PacketArena::new();
+        let mut single = FqLink::new(Rate::gbps(100.0));
+        let mut burst = FqLink::new(Rate::gbps(100.0));
+        let mut batch = Vec::new();
+        let mut d_single = None;
+        for (i, &len) in lens.iter().enumerate() {
+            let p = pkt(flow, i as u64, len);
+            let bytes = p.wire_bytes();
+            if let Some(d) = single.enqueue(Nanos::ZERO, p.flow, bytes, arena.insert(p)) {
+                d_single = Some(d);
+            }
+            let p2 = pkt(flow, i as u64, len);
+            batch.push((arena.insert(p2), bytes));
+        }
+        let mut d_burst = burst.enqueue_burst(Nanos::ZERO, FlowId(flow), &mut batch);
+        prop_assert_eq!(single.backlog_bytes(), burst.backlog_bytes());
+        while let (Some(a), Some(b)) = (d_single, d_burst) {
+            prop_assert_eq!(a.at, b.at);
+            prop_assert_eq!(arena.remove(a.pkt).id, arena.remove(b.pkt).id);
+            d_single = single.on_depart(a.at);
+            d_burst = burst.on_depart(b.at);
+        }
+        prop_assert!(d_single.is_none() && d_burst.is_none(), "same departure count");
+        prop_assert!(arena.is_empty());
+    }
+
+    /// Link batch transmit ≡ sequential transmits, for any byte sequence.
+    #[test]
+    fn link_batch_equals_sequential(
+        sizes in prop::collection::vec(64u64..9000, 0..60),
+        start_ns in 0u64..10_000,
+    ) {
+        let mut seq = Link::new(Rate::gbps(100.0), Nanos::from_micros(5));
+        let mut bat = Link::new(Rate::gbps(100.0), Nanos::from_micros(5));
+        let now = Nanos::from_nanos(start_ns);
+        let expected: Vec<(Nanos, Nanos)> =
+            sizes.iter().map(|&b| seq.transmit(now, b)).collect();
+        let mut got = Vec::new();
+        bat.transmit_batch(now, &sizes, &mut got);
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(bat.busy_until(), seq.busy_until());
+        prop_assert_eq!(bat.bytes_sent(), seq.bytes_sent());
     }
 
     /// Switch port: backlog never exceeds capacity; accepted + dropped =

@@ -58,14 +58,24 @@ impl IioBuffer {
 
     /// Admit up to `bytes` into the memory controller; returns the packets
     /// whose last byte was admitted (now deliverable to the stack).
+    ///
+    /// Convenience wrapper over [`IioBuffer::admit_into`] that allocates
+    /// the output list; the per-tick hot path reuses a buffer instead.
     pub fn admit(&mut self, bytes: f64) -> Vec<StreamedPacket> {
+        let mut out = Vec::new();
+        self.admit_into(bytes, &mut out);
+        out
+    }
+
+    /// Allocation-free core of [`IioBuffer::admit`]: deliverable packets
+    /// are appended to `out` (not cleared first).
+    pub fn admit_into(&mut self, bytes: f64, out: &mut Vec<StreamedPacket>) {
         let take = bytes.min(self.waiting_bytes);
         self.waiting_bytes -= take;
         if self.waiting_bytes < 1e-6 {
             self.waiting_bytes = 0.0; // absorb float residue
         }
         self.admitted_cum += take;
-        let mut out = Vec::new();
         while let Some(front) = self.pending.front() {
             if front.end_offset <= self.admitted_cum + 1e-6 {
                 out.push(self.pending.pop_front().expect("front exists"));
@@ -73,7 +83,6 @@ impl IioBuffer {
                 break;
             }
         }
-        out
     }
 
     /// Bytes waiting for admission (holding PCIe credits).

@@ -97,9 +97,21 @@ impl NicRxQueue {
 
     /// Stream up to `budget` DMA bytes into the PCIe, head-of-line first.
     /// Returns `(bytes_streamed, packets_that_finished_streaming)`.
-    pub fn stream(&mut self, mut budget: f64) -> (f64, Vec<StreamedPacket>) {
-        let mut streamed = 0.0;
+    ///
+    /// Convenience wrapper over [`NicRxQueue::stream_into`] that allocates
+    /// the completion list; the per-tick hot path passes a reused buffer
+    /// to `stream_into` instead.
+    pub fn stream(&mut self, budget: f64) -> (f64, Vec<StreamedPacket>) {
         let mut completed = Vec::new();
+        let streamed = self.stream_into(budget, &mut completed);
+        (streamed, completed)
+    }
+
+    /// Allocation-free core of [`NicRxQueue::stream`]: completions are
+    /// appended to `completed` (not cleared first) and the bytes streamed
+    /// are returned.
+    pub fn stream_into(&mut self, mut budget: f64, completed: &mut Vec<StreamedPacket>) -> f64 {
+        let mut streamed = 0.0;
         while budget > 1e-9 {
             let Some(head) = self.queue.front_mut() else {
                 break;
@@ -124,7 +136,7 @@ impl NicRxQueue {
                 });
             }
         }
-        (streamed, completed)
+        streamed
     }
 
     /// Buffer occupancy in bytes (packets whose DMA has not started).

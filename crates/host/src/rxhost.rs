@@ -116,6 +116,11 @@ pub struct RxHost {
     delivered_packets_total: u64,
     last_tick_at: Nanos,
     trace: TraceHandle,
+    /// Reused per-tick buffers (see [`RxHost::tick_into`]): admitted
+    /// packets awaiting delivery accounting, and DMA completions awaiting
+    /// IIO registration. Cleared and refilled every tick, never freed.
+    scratch_admitted: Vec<crate::nic::StreamedPacket>,
+    scratch_completed: Vec<crate::nic::StreamedPacket>,
     /// When the current PCIe credit stall began (None = not stalled).
     stalled_since: Option<Nanos>,
     /// Last traced values, for change-triggered counter emission.
@@ -146,6 +151,8 @@ impl RxHost {
             delivered_packets_total: 0,
             last_tick_at: Nanos::ZERO,
             trace: TraceHandle::disabled(),
+            scratch_admitted: Vec::new(),
+            scratch_completed: Vec::new(),
             stalled_since: None,
             traced_occupancy: f64::NAN,
             traced_backlog: 0,
@@ -180,7 +187,22 @@ impl RxHost {
     }
 
     /// Advance the datapath to `now` (one tick of `cfg.tick`).
+    ///
+    /// Convenience wrapper over [`RxHost::tick_into`] that allocates a
+    /// fresh [`TickOutput`]; the experiment driver reuses one across ticks
+    /// instead.
     pub fn tick(&mut self, now: Nanos) -> TickOutput {
+        let mut out = TickOutput::default();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free core of [`RxHost::tick`]: `out` is cleared and
+    /// refilled. In steady state (once `out.delivered` and the internal
+    /// scratch buffers reach their high-water capacity) a tick performs no
+    /// heap allocation at all.
+    pub fn tick_into(&mut self, now: Nanos, out: &mut TickOutput) {
+        out.delivered.clear();
         let dt = self.cfg.tick;
         debug_assert!(now >= self.last_tick_at);
         self.last_tick_at = now;
@@ -245,7 +267,8 @@ impl RxHost {
         } else {
             self.iio.waiting_bytes()
         };
-        let delivered_raw = self.iio.admit(admit);
+        self.scratch_admitted.clear();
+        self.iio.admit_into(admit, &mut self.scratch_admitted);
         self.ddio.on_dma(&self.cfg, (1.0 - e) * admit);
 
         // 5. MApp and copy progress.
@@ -254,14 +277,15 @@ impl RxHost {
         self.ddio.on_consumed(&self.cfg, copied);
 
         // 6. Deliver packets: payload enters the copy backlog.
-        let mut delivered = Vec::with_capacity(delivered_raw.len());
-        for spkt in delivered_raw {
+        let cfg = &self.cfg;
+        let copy = &mut self.copy;
+        for spkt in self.scratch_admitted.drain(..) {
             let payload = spkt.pkt.payload_bytes();
-            self.copy.push(&self.cfg, payload as f64);
+            copy.push(cfg, payload as f64);
             self.delivered_payload_bytes += payload;
             self.delivered_packets += 1;
             self.delivered_packets_total += 1;
-            delivered.push(Delivered {
+            out.delivered.push(Delivered {
                 pkt: spkt.pkt,
                 nic_at: spkt.enqueued_at,
                 delivered_at: now,
@@ -290,9 +314,10 @@ impl RxHost {
         let pcie_rate = self.cfg.iommu.effective_rate(self.cfg.pcie_rate);
         let wire_budget = pcie_rate.bytes_in(dt);
         let budget = credits_free.min(wire_budget);
-        let (streamed, completed) = self.nic.stream(budget);
+        self.scratch_completed.clear();
+        let streamed = self.nic.stream_into(budget, &mut self.scratch_completed);
         self.wire.push(now + self.cfg.l_p, streamed);
-        for sp in completed {
+        for sp in self.scratch_completed.drain(..) {
             self.iio.register(sp);
         }
 
@@ -308,12 +333,9 @@ impl RxHost {
             self.trace_tick(now, e, occupancy, credits_free < wire_budget);
         }
 
-        TickOutput {
-            delivered,
-            copied_app_bytes: copied,
-            occupancy_cl: occupancy,
-            inserted_bytes: inserted,
-        }
+        out.copied_app_bytes = copied;
+        out.occupancy_cl = occupancy;
+        out.inserted_bytes = inserted;
     }
 
     /// Per-tick trace emission. Counters are change-triggered rather than

@@ -79,7 +79,18 @@ impl TxHost {
 
     /// Advance one tick; returns packets whose DMA completed (ready for
     /// the NIC to serialize).
+    ///
+    /// Convenience wrapper over [`TxHost::tick_into`] that allocates the
+    /// output list; the experiment driver reuses a buffer instead.
     pub fn tick(&mut self, now: Nanos) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free core of [`TxHost::tick`]: released packets are
+    /// appended to `out` (not cleared first).
+    pub fn tick_into(&mut self, now: Nanos, out: &mut Vec<Packet>) {
         let dt = self.cfg.tick;
         let mba_added = self.mba.effective_added_latency(now);
 
@@ -101,7 +112,6 @@ impl TxHost {
         // Release packets covered by the granted DMA bytes.
         let mut budget = grants.iio.min(self.queued_bytes);
         self.msr.add_insertions(budget);
-        let mut out = Vec::new();
         while budget > 1e-9 {
             let Some((_, remaining)) = self.queue.front_mut() else {
                 break;
@@ -124,7 +134,6 @@ impl TxHost {
         // Occupancy signal: pending reads, capped at the credit pool.
         let occ_cl = (self.queued_bytes / CACHELINE as f64).min(self.cfg.pcie_max_credit_cl as f64);
         self.msr.integrate_occupancy(occ_cl, dt);
-        out
     }
 
     /// The MSR bank (sender-side hostCC reads it).

@@ -52,4 +52,6 @@ pub use alloc::CountingAllocator;
 pub use alloc::{alloc_stats, reset_alloc_peak, AllocStats};
 pub use json::JsonValue;
 pub use profile::{PerfHandle, PerfProfiler, PerfReport, PerfScope, Subsystem};
-pub use report::{compare, BenchComparison, BenchDelta, BenchReport, BenchWorkload, HostMeta};
+pub use report::{
+    compare, compare_gated, BenchComparison, BenchDelta, BenchReport, BenchWorkload, HostMeta,
+};

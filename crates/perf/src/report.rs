@@ -201,8 +201,9 @@ impl HostMeta {
 /// A complete bench run: the unit of the BENCH trajectory.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// Git short sha the run was taken at (from the filename convention
-    /// `BENCH_<sha>.json`; `unknown` outside a git checkout).
+    /// Git short sha the run was taken at (stamped from `git rev-parse
+    /// --short HEAD` when the suite runs; `unknown` outside a git
+    /// checkout). The filename convention `BENCH_<sha>.json` repeats it.
     pub git_sha: String,
     /// Suite name (`smoke`, `standard`).
     pub suite: String,
@@ -291,6 +292,11 @@ pub struct BenchDelta {
     pub old_events_per_sec: Option<f64>,
     /// New events/sec (`None` if the workload was removed).
     pub new_events_per_sec: Option<f64>,
+    /// Baseline allocation count (`None` when the baseline had no
+    /// allocator stats for this workload).
+    pub old_allocs: Option<u64>,
+    /// New allocation count (`None` when the new run had none).
+    pub new_allocs: Option<u64>,
 }
 
 impl BenchDelta {
@@ -303,9 +309,27 @@ impl BenchDelta {
         }
     }
 
-    /// Whether this delta is a regression beyond `threshold_pct`.
+    /// Relative allocation-count change in percent (positive = more
+    /// allocations), when both sides have allocator stats. Unlike wall
+    /// rates, alloc counts are deterministic for a given binary and
+    /// workload, so they compare meaningfully across machines.
+    pub fn alloc_delta_pct(&self) -> Option<f64> {
+        match (self.old_allocs, self.new_allocs) {
+            (Some(old), Some(new)) if old > 0 => {
+                Some(100.0 * (new as f64 - old as f64) / old as f64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the throughput delta is a regression beyond `threshold_pct`.
     pub fn regressed(&self, threshold_pct: f64) -> bool {
         matches!(self.delta_pct(), Some(d) if d < -threshold_pct)
+    }
+
+    /// Whether the allocation count grew beyond `threshold_pct`.
+    pub fn alloc_regressed(&self, threshold_pct: f64) -> bool {
+        matches!(self.alloc_delta_pct(), Some(d) if d > threshold_pct)
     }
 }
 
@@ -315,16 +339,22 @@ pub struct BenchComparison {
     /// Per-workload deltas: baseline order first, then workloads that
     /// only exist in the new run.
     pub deltas: Vec<BenchDelta>,
-    /// Regression threshold in percent the comparison was run with.
+    /// Throughput regression threshold in percent.
     pub threshold_pct: f64,
+    /// Allocation-growth threshold in percent (`f64::INFINITY` disables
+    /// alloc gating, the [`compare`] default).
+    pub alloc_threshold_pct: f64,
 }
 
 impl BenchComparison {
-    /// Names of workloads slower than the threshold allows.
+    /// Names of workloads slower than the rate threshold allows, or
+    /// allocating more than the alloc threshold allows.
     pub fn regressions(&self) -> Vec<&str> {
         self.deltas
             .iter()
-            .filter(|d| d.regressed(self.threshold_pct))
+            .filter(|d| {
+                d.regressed(self.threshold_pct) || d.alloc_regressed(self.alloc_threshold_pct)
+            })
             .map(|d| d.name.as_str())
             .collect()
     }
@@ -332,8 +362,8 @@ impl BenchComparison {
     /// Human delta table plus the verdict line.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "{:<24} {:>14} {:>14} {:>9}\n",
-            "workload", "base ev/s", "new ev/s", "delta"
+            "{:<24} {:>14} {:>14} {:>9} {:>10}\n",
+            "workload", "base ev/s", "new ev/s", "delta", "allocs"
         );
         for d in &self.deltas {
             let side = |v: Option<f64>| match v {
@@ -345,24 +375,33 @@ impl BenchComparison {
                 None if d.old_events_per_sec.is_none() => "new".to_string(),
                 None => "gone".to_string(),
             };
+            let allocs = match d.alloc_delta_pct() {
+                Some(p) => format!("{p:+.1} %"),
+                None => "-".to_string(),
+            };
             out.push_str(&format!(
-                "{:<24} {:>14} {:>14} {:>9}\n",
+                "{:<24} {:>14} {:>14} {:>9} {:>10}\n",
                 d.name,
                 side(d.old_events_per_sec),
                 side(d.new_events_per_sec),
-                delta
+                delta,
+                allocs,
             ));
         }
         let regressions = self.regressions();
+        let thresholds = if self.alloc_threshold_pct.is_finite() {
+            format!(
+                "{:.1} % rate / {:.1} % alloc threshold",
+                self.threshold_pct, self.alloc_threshold_pct
+            )
+        } else {
+            format!("{:.1} % threshold", self.threshold_pct)
+        };
         if regressions.is_empty() {
-            out.push_str(&format!(
-                "no regressions beyond {:.1} % threshold\n",
-                self.threshold_pct
-            ));
+            out.push_str(&format!("no regressions beyond {thresholds}\n"));
         } else {
             out.push_str(&format!(
-                "REGRESSED beyond {:.1} % threshold: {}\n",
-                self.threshold_pct,
+                "REGRESSED beyond {thresholds}: {}\n",
                 regressions.join(", ")
             ));
         }
@@ -374,14 +413,36 @@ impl BenchComparison {
 ///
 /// Only `events_per_sec` drives the verdict — it is the one number every
 /// workload has regardless of profiling or allocator availability. Host
-/// metadata is never consulted.
+/// metadata is never consulted. Use [`compare_gated`] to additionally
+/// gate on allocation-count growth.
 pub fn compare(baseline: &BenchReport, new: &BenchReport, threshold_pct: f64) -> BenchComparison {
+    compare_gated(baseline, new, threshold_pct, f64::INFINITY)
+}
+
+/// Like [`compare`], but a workload also counts as regressed when its
+/// allocation count grew more than `alloc_threshold_pct` percent over
+/// the baseline.
+///
+/// Wall rates are machine-dependent — a committed baseline from one
+/// machine needs a very loose rate threshold on another. Allocation
+/// counts are deterministic for a given binary and workload, so the
+/// alloc gate stays tight even across machines; CI leans on it.
+pub fn compare_gated(
+    baseline: &BenchReport,
+    new: &BenchReport,
+    threshold_pct: f64,
+    alloc_threshold_pct: f64,
+) -> BenchComparison {
+    let allocs = |w: &BenchWorkload| w.alloc.as_ref().map(|a| a.allocs);
     let mut deltas = Vec::new();
     for old in &baseline.workloads {
+        let cur = new.workload(&old.name);
         deltas.push(BenchDelta {
             name: old.name.clone(),
             old_events_per_sec: Some(old.events_per_sec()),
-            new_events_per_sec: new.workload(&old.name).map(|w| w.events_per_sec()),
+            new_events_per_sec: cur.map(|w| w.events_per_sec()),
+            old_allocs: allocs(old),
+            new_allocs: cur.and_then(allocs),
         });
     }
     for w in &new.workloads {
@@ -390,12 +451,15 @@ pub fn compare(baseline: &BenchReport, new: &BenchReport, threshold_pct: f64) ->
                 name: w.name.clone(),
                 old_events_per_sec: None,
                 new_events_per_sec: Some(w.events_per_sec()),
+                old_allocs: None,
+                new_allocs: allocs(w),
             });
         }
     }
     BenchComparison {
         deltas,
         threshold_pct,
+        alloc_threshold_pct,
     }
 }
 
@@ -514,6 +578,33 @@ mod tests {
         let text = cmp.render();
         assert!(text.contains("gone"), "{text}");
         assert!(text.contains("new"), "{text}");
+    }
+
+    #[test]
+    fn alloc_growth_beyond_threshold_is_flagged() {
+        let base = sample_report();
+        let mut leaky = base.clone();
+        // Same speed, 20 % more allocations.
+        leaky.workloads[0].alloc.as_mut().unwrap().allocs = 1481;
+        // Plain compare never gates on allocs.
+        assert!(compare(&base, &leaky, 5.0).regressions().is_empty());
+        // The gated form does, independent of the (satisfied) rate gate.
+        let cmp = compare_gated(&base, &leaky, 5.0, 10.0);
+        assert_eq!(cmp.regressions(), vec!["scenario:baseline"]);
+        let text = cmp.render();
+        assert!(text.contains("+20.0 %"), "{text}");
+        assert!(text.contains("alloc threshold"), "{text}");
+        // A looser alloc threshold accepts the same growth; shrinking
+        // alloc counts never regress.
+        assert!(compare_gated(&base, &leaky, 5.0, 25.0)
+            .regressions()
+            .is_empty());
+        assert!(compare_gated(&leaky, &base, 5.0, 10.0)
+            .regressions()
+            .is_empty());
+        // Workloads without allocator stats (chaos:flap here) are exempt.
+        let d = cmp.deltas.iter().find(|d| d.name == "chaos:flap").unwrap();
+        assert_eq!(d.alloc_delta_pct(), None);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * integer and float [`Range`] strategies (`0u64..100`)
 //! * [`any`]`::<T>()` for the primitive types
 //! * `prop::collection::vec(strategy, len_range)`
+//! * [`prop_oneof!`] (uniform arms), [`Just`], and [`Strategy::prop_map`]
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`]
 //!
 //! Differences from the real crate, by design:
@@ -84,6 +85,87 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-process every drawn value with `f` (mirrors the real crate's
+    /// `Strategy::prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of its value (mirrors the real
+/// crate's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One erased arm of a [`prop_oneof!`] union.
+pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice between strategies that generate the same type — the
+/// backing type of [`prop_oneof!`]. (The real crate also supports weighted
+/// arms; the shim draws uniformly.)
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from the erased arms (used by [`prop_oneof!`]).
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// Box one [`prop_oneof!`] arm (a plain function so type inference can
+/// unify the arms' value types across the built `Vec`).
+pub fn oneof_arm<S: Strategy + 'static>(s: S) -> OneOfArm<S::Value> {
+    Box::new(move |rng| s.generate(rng))
+}
+
+/// `prop_oneof![s1, s2, ...]`: draw each case from one of the listed
+/// strategies, chosen uniformly. All arms must generate the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::oneof_arm($strat)),+])
+    };
 }
 
 macro_rules! int_range_strategy {
@@ -260,8 +342,8 @@ pub mod prop {
 /// Everything a property-test file needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, Strategy,
-        TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary, Just,
+        Strategy, TestCaseError,
     };
 }
 
@@ -427,6 +509,26 @@ mod tests {
         }
     }
 
+    #[test]
+    fn oneof_map_and_just_combinators() {
+        let mut rng = crate::TestRng::for_test("oneof");
+        let s = prop_oneof![
+            (0u64..10).prop_map(Some),
+            Just(None),
+            (100u64..110).prop_map(Some),
+        ];
+        let mut arms = [false; 3];
+        for _ in 0..1000 {
+            match s.generate(&mut rng) {
+                Some(v) if v < 10 => arms[0] = true,
+                None => arms[1] = true,
+                Some(v) if (100..110).contains(&v) => arms[2] = true,
+                Some(v) => panic!("out-of-arm value {v}"),
+            }
+        }
+        assert_eq!(arms, [true; 3], "all arms must be drawn from");
+    }
+
     proptest! {
         /// The macro itself: bodies run, assertions pass, assumptions skip.
         #[test]
@@ -435,6 +537,14 @@ mod tests {
             prop_assert!((1..100).contains(&x));
             prop_assert!((1..10).contains(&ys.len()));
             prop_assert!(ys.iter().all(|&y| y < 50));
+        }
+
+        /// The combinators inside a proptest! argument position.
+        #[test]
+        fn oneof_in_argument_position(
+            v in prop::collection::vec(prop_oneof![0u64..5, 1_000u64..1_005], 1..20),
+        ) {
+            prop_assert!(v.iter().all(|&x| x < 5 || (1_000..1_005).contains(&x)));
         }
     }
 

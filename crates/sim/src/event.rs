@@ -1,4 +1,34 @@
-//! The pending-event set: a time-ordered queue with stable FIFO tie-breaking.
+//! The pending-event set: a hierarchical timing wheel with stable FIFO
+//! tie-breaking and an overflow heap for beyond-horizon events.
+//!
+//! The queue used to be a plain `BinaryHeap`; at millions of events per
+//! run the `O(log n)` sift on every push/pop — each moving a full payload
+//! — dominated engine self-time. The wheel replaces that with `O(1)`
+//! placement and amortised-`O(1)` extraction:
+//!
+//! * **Levels.** [`LEVELS`] wheels of [`SLOTS`] slots each; level `k`
+//!   buckets events by bits `[8k, 8k+8)` of their absolute firing time.
+//!   An event lives at the *highest* level where its time differs from
+//!   the wheel cursor, so near events sit in level 0 (one slot per
+//!   nanosecond) and far events sit in coarse slots that are cascaded
+//!   down as the cursor approaches them.
+//! * **Cursor.** A lower bound on every pending firing time (`cursor ≤
+//!   now ≤` every pending `at`). Popping advances it; cascading jumps it
+//!   to the start of the coarse slot being re-distributed. The cursor
+//!   only catches up to `now` while the queue is empty, which keeps
+//!   every placement valid without relocation.
+//! * **Ties.** Every entry carries the same monotone `seq` the heap used.
+//!   All entries in an occupied level-0 slot share one timestamp, and
+//!   extraction picks the minimum `seq`, so same-instant events still
+//!   fire in scheduling order — pop order is the total order `(at, seq)`,
+//!   bit-identical to the old heap.
+//! * **Overflow.** Events beyond the wheel horizon (`2^48` ns past the
+//!   cursor, ~78 simulated hours) go to a `BinaryHeap<ScheduledEvent>`
+//!   and are batch-migrated into the wheel when the wheel drains.
+//!
+//! Occupancy bitmaps (four words per level) make "next occupied slot"
+//! a couple of `trailing_zeros` instructions, so sparse schedules do not
+//! pay a 256-slot linear scan.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -40,6 +70,24 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
+/// Bits of firing time consumed per wheel level.
+const SLOT_BITS: u32 = 8;
+/// Slots per level (`2^SLOT_BITS`).
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; together they cover `SLOT_BITS * LEVELS` bits of time.
+const LEVELS: usize = 6;
+/// Total bits of firing time the wheel resolves; times differing from
+/// the cursor above this go to the overflow heap.
+const WHEEL_BITS: u32 = SLOT_BITS * LEVELS as u32;
+/// `u64` words per occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+
+/// The slot index of `t` at `level` (bits `[8*level, 8*level+8)`).
+#[inline]
+fn slot_of(t: u64, level: usize) -> usize {
+    ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
+}
+
 /// A discrete-event queue over a user-defined payload type `E`.
 ///
 /// The queue tracks the simulation clock: [`EventQueue::pop`] advances
@@ -59,7 +107,17 @@ impl<E> Ord for ScheduledEvent<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    /// `LEVELS * SLOTS` buckets, flattened; `slots[level * SLOTS + s]`.
+    /// Every entry in an occupied level-0 slot shares one firing time.
+    slots: Vec<Vec<ScheduledEvent<E>>>,
+    /// Per-level occupancy bitmaps over the `SLOTS` buckets.
+    occ: [[u64; WORDS]; LEVELS],
+    /// Events beyond the wheel horizon, earliest first.
+    overflow: BinaryHeap<ScheduledEvent<E>>,
+    /// Lower bound on every pending firing time (`cursor ≤ now`).
+    cursor: u64,
+    /// Entries currently in the wheel (excluding `overflow`).
+    wheel_len: usize,
     now: Nanos,
     seq: u64,
     popped: u64,
@@ -75,7 +133,11 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [[0; WORDS]; LEVELS],
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            wheel_len: 0,
             now: Nanos::ZERO,
             seq: 0,
             popped: 0,
@@ -91,13 +153,13 @@ impl<E> EventQueue<E> {
     /// Number of events currently pending.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.overflow.len()
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever popped; useful for progress accounting
@@ -139,7 +201,7 @@ impl<E> EventQueue<E> {
     /// ```
     #[inline]
     pub fn drained(&self) -> bool {
-        self.heap.is_empty()
+        self.is_empty()
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -152,9 +214,14 @@ impl<E> EventQueue<E> {
             "scheduled event in the past: at={at} now={}",
             self.now
         );
+        // An idle queue lets the cursor catch up to the clock for free
+        // (nothing to relocate), keeping future placements fine-grained.
+        if self.wheel_len == 0 && self.overflow.is_empty() {
+            self.cursor = self.now.as_nanos();
+        }
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(ScheduledEvent { at, seq, event });
+        self.place(ScheduledEvent { at, seq, event });
     }
 
     /// Schedule `event` `delay` after the current clock.
@@ -165,16 +232,49 @@ impl<E> EventQueue<E> {
 
     /// Firing time of the next pending event, if any.
     pub fn peek_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|s| s.at)
+        if self.wheel_len > 0 {
+            // Level 0 first: the slot index *is* the low byte of the
+            // firing time, and every entry in the slot shares it.
+            if let Some(s) = self.next_occupied(0, slot_of(self.cursor, 0)) {
+                let t = (self.cursor & !(SLOTS as u64 - 1)) | s as u64;
+                return Some(Nanos::from_nanos(t));
+            }
+            // Higher levels hold ranges; the earliest occupied slot of
+            // the lowest occupied level bounds everything above it, but
+            // the slot itself must be scanned for its minimum.
+            for level in 1..LEVELS {
+                if let Some(s) = self.next_occupied(level, slot_of(self.cursor, level) + 1) {
+                    let batch = &self.slots[level * SLOTS + s];
+                    return batch.iter().map(|e| e.at).min();
+                }
+            }
+            debug_assert!(false, "wheel_len > 0 but no occupied slot");
+        }
+        self.overflow.peek().map(|s| s.at)
     }
 
     /// Pop the earliest event, advancing the clock to its firing time.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.at >= self.now, "heap produced an out-of-order event");
-        self.now = s.at;
-        self.popped += 1;
-        Some((s.at, s.event))
+        loop {
+            if self.wheel_len > 0 {
+                if let Some(s) = self.next_occupied(0, slot_of(self.cursor, 0)) {
+                    return Some(self.take_from_level0(s));
+                }
+                self.cascade_once();
+                continue;
+            }
+            // Wheel empty: migrate the overflow batch around its minimum
+            // into the wheel and resume.
+            let t_min = self.overflow.peek()?.at.as_nanos();
+            self.cursor = t_min;
+            while let Some(top) = self.overflow.peek() {
+                if (top.at.as_nanos() ^ self.cursor) >> WHEEL_BITS != 0 {
+                    break;
+                }
+                let ev = self.overflow.pop().expect("peeked entry exists");
+                self.place(ev);
+            }
+        }
     }
 
     /// Pop the earliest event only if it fires at or before `deadline`.
@@ -200,8 +300,104 @@ impl<E> EventQueue<E> {
                 t >= at,
                 "advance_to({at}) would skip an event pending at {t}"
             );
+        } else {
+            // Idle queue: the cursor may follow the clock directly.
+            self.cursor = at.as_nanos();
         }
         self.now = at;
+    }
+
+    /// Insert `ev` at the highest level where its time differs from the
+    /// cursor, or into the overflow heap when beyond the wheel horizon.
+    fn place(&mut self, ev: ScheduledEvent<E>) {
+        let t = ev.at.as_nanos();
+        debug_assert!(t >= self.cursor, "placement below the wheel cursor");
+        let diff = t ^ self.cursor;
+        if diff >> WHEEL_BITS != 0 {
+            self.overflow.push(ev);
+            return;
+        }
+        let level = if diff == 0 {
+            0
+        } else {
+            (63 - diff.leading_zeros()) as usize / SLOT_BITS as usize
+        };
+        let s = slot_of(t, level);
+        self.slots[level * SLOTS + s].push(ev);
+        self.occ[level][s / 64] |= 1u64 << (s % 64);
+        self.wheel_len += 1;
+    }
+
+    /// Extract the minimum-`seq` entry from level-0 slot `s`, advancing
+    /// the cursor and clock to its (shared) firing time.
+    fn take_from_level0(&mut self, s: usize) -> (Nanos, E) {
+        let t = (self.cursor & !(SLOTS as u64 - 1)) | s as u64;
+        let batch = &mut self.slots[s];
+        let mut min = 0;
+        for i in 1..batch.len() {
+            if batch[i].seq < batch[min].seq {
+                min = i;
+            }
+        }
+        let ev = batch.swap_remove(min);
+        if batch.is_empty() {
+            self.occ[0][s / 64] &= !(1u64 << (s % 64));
+        }
+        self.wheel_len -= 1;
+        debug_assert_eq!(ev.at.as_nanos(), t, "level-0 slot holds a foreign time");
+        debug_assert!(ev.at >= self.now, "wheel produced an out-of-order event");
+        self.cursor = t;
+        self.now = ev.at;
+        self.popped += 1;
+        (ev.at, ev.event)
+    }
+
+    /// Jump the cursor to the earliest occupied coarse slot and re-place
+    /// its entries one level (or more) down. Called when the current
+    /// level-0 window is exhausted but the wheel still holds entries.
+    fn cascade_once(&mut self) {
+        for level in 1..LEVELS {
+            // Entries at this level always sit strictly above the
+            // cursor's own slot (equal slots live at lower levels).
+            let Some(s) = self.next_occupied(level, slot_of(self.cursor, level) + 1) else {
+                continue;
+            };
+            let shift = SLOT_BITS * (level as u32 + 1);
+            let upper = if shift >= 64 {
+                0
+            } else {
+                (self.cursor >> shift) << shift
+            };
+            self.cursor = upper | ((s as u64) << (SLOT_BITS * level as u32));
+            let batch = std::mem::take(&mut self.slots[level * SLOTS + s]);
+            self.occ[level][s / 64] &= !(1u64 << (s % 64));
+            self.wheel_len -= batch.len();
+            for ev in batch {
+                self.place(ev);
+            }
+            return;
+        }
+        debug_assert!(false, "cascade_once on a wheel with no coarse entries");
+    }
+
+    /// The first occupied slot of `level` at index `from` or later.
+    #[inline]
+    fn next_occupied(&self, level: usize, from: usize) -> Option<usize> {
+        if from >= SLOTS {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut word = self.occ[level][w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= WORDS {
+                return None;
+            }
+            word = self.occ[level][w];
+        }
     }
 }
 
@@ -303,5 +499,95 @@ mod tests {
         q.pop();
         q.schedule_in(Nanos::MAX, ());
         assert_eq!(q.peek_time(), Some(Nanos::MAX));
+    }
+
+    #[test]
+    fn cascades_across_levels() {
+        // Spread events over several wheel levels: adjacent nanoseconds,
+        // same level-0 window, the next 256-window, a level-2 distance
+        // and a level-5 distance.
+        let mut q = EventQueue::new();
+        let times: [u64; 7] = [
+            3,
+            4,
+            200,
+            0x1234,
+            0xabcd_ef01,
+            0xff00_0000_0000 - 1,
+            0xff00_0000_0000,
+        ];
+        // Schedule in reverse so placement order never matches pop order.
+        for (i, t) in times.iter().rev().enumerate() {
+            q.schedule(Nanos::from_nanos(*t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((at, _)) = q.pop() {
+            popped.push(at.as_nanos());
+        }
+        assert_eq!(popped, times);
+        assert!(q.drained());
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let mut q = EventQueue::new();
+        // Beyond the 2^48 ns wheel horizon from time zero.
+        let far = 1u64 << 55;
+        q.schedule(Nanos::from_nanos(far + 7), "far+7");
+        q.schedule(Nanos::from_nanos(far), "far");
+        q.schedule(Nanos::from_nanos(5), "near");
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(5)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("near"));
+        // The overflow batch migrates in around its minimum.
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(far), "far")));
+        assert_eq!(q.pop(), Some((Nanos::from_nanos(far + 7), "far+7")));
+        assert!(q.drained());
+    }
+
+    #[test]
+    fn overflow_ties_still_fifo() {
+        let mut q = EventQueue::new();
+        let far = Nanos::from_nanos(1u64 << 50);
+        for i in 0..10 {
+            q.schedule(far, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keep_order() {
+        // Re-scheduling relative to each popped time exercises cursor
+        // advancement mid-window and across windows.
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(100), 0u64);
+        let mut fired = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            fired.push((t.as_nanos(), id));
+            if id < 6 {
+                // One nearby and one next-window follow-up each round.
+                q.schedule(t.checked_add(Nanos::from_nanos(3)).unwrap(), id + 1);
+                q.schedule(t.checked_add(Nanos::from_nanos(300)).unwrap(), id + 100);
+            }
+        }
+        assert_eq!(fired.len(), 13);
+        let times: Vec<u64> = fired.iter().map(|(t, _)| *t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "pop order must be time order");
+        assert_eq!(q.events_processed(), 13);
+    }
+
+    #[test]
+    fn len_counts_wheel_and_overflow_together() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(1), ());
+        q.schedule(Nanos::from_nanos(1u64 << 60), ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
     }
 }

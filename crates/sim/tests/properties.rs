@@ -31,6 +31,100 @@ proptest! {
         prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
     }
 
+    /// Oracle equivalence: the timing wheel must pop exactly what the old
+    /// `BinaryHeap<Reverse<(time, seq)>>` queue popped — a stable sort by
+    /// (time, scheduling order). Times are drawn from a small range so the
+    /// run is dense with same-timestamp ties.
+    #[test]
+    fn event_queue_matches_heap_oracle_dense(
+        times in prop::collection::vec(0u64..3_000, 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos::from_nanos(t), i);
+        }
+        let mut oracle: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        oracle.sort_by_key(|&(t, _)| t); // stable: ties stay in schedule order
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, e)| (t.as_nanos(), e)).collect();
+        prop_assert_eq!(got, oracle);
+    }
+
+    /// Oracle equivalence under interleaved schedule/pop, with timestamps
+    /// spanning every wheel level *and* the far-future overflow heap
+    /// (deltas past 2^48 ns exceed the wheel horizon). Scheduling relative
+    /// to the advancing `now` also exercises cursor cascades mid-stream.
+    #[test]
+    fn event_queue_matches_heap_oracle_interleaved(
+        ops in prop::collection::vec(
+            prop_oneof![
+                // Mostly schedules: dense near-term, mid-level, and
+                // beyond-horizon deltas.
+                (prop_oneof![0u64..2_000, 1u64 << 20..1u64 << 44, 1u64 << 48..1u64 << 54])
+                    .prop_map(Some),
+                Just(None), // pop
+            ],
+            1..250,
+        ),
+    ) {
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, usize)> = Vec::new(); // (time, seq); seq == id
+        let mut seq = 0usize;
+        for op in ops {
+            match op {
+                Some(delta) => {
+                    let at = q.now().as_nanos() + delta;
+                    q.schedule(Nanos::from_nanos(at), seq);
+                    model.push((at, seq));
+                    seq += 1;
+                }
+                None => {
+                    let got = q.pop();
+                    let want = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(t, s))| (t, s))
+                        .map(|(i, _)| i);
+                    match (got, want) {
+                        (Some((t, e)), Some(i)) => {
+                            let (mt, ms) = model.remove(i);
+                            prop_assert_eq!((t.as_nanos(), e), (mt, ms));
+                        }
+                        (None, None) => {}
+                        (g, w) => prop_assert!(false, "queue {g:?} vs oracle index {w:?}"),
+                    }
+                }
+            }
+        }
+        // Drain what is left; the tail must match the oracle too.
+        model.sort(); // (time, seq) — seq breaks ties exactly like FIFO
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, e)| (t.as_nanos(), e)).collect();
+        prop_assert_eq!(got, model);
+        prop_assert!(q.drained());
+    }
+
+    /// Far-future stress: every event lands beyond the wheel horizon, so
+    /// the overflow heap carries them all and must refill the wheel in
+    /// oracle order as time advances.
+    #[test]
+    fn event_queue_overflow_only_schedules(
+        times in prop::collection::vec((1u64 << 48)..(1u64 << 60), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos::from_nanos(t), i);
+        }
+        let mut oracle: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        oracle.sort_by_key(|&(t, _)| t);
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, e)| (t.as_nanos(), e)).collect();
+        prop_assert_eq!(got, oracle);
+        prop_assert_eq!(q.popped(), times.len() as u64);
+    }
+
     /// An EWMA of inputs bounded in [lo, hi] stays within [lo, hi] once primed.
     #[test]
     fn ewma_stays_in_input_hull(
