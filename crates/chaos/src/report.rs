@@ -75,6 +75,11 @@ pub struct ArmReport {
     /// Mean delivered bandwidth before the first fault window (the
     /// baseline the dips are measured against).
     pub pre_mean_gbps: f64,
+    /// Jain's fairness index over the greedy flows' delivered bytes in the
+    /// measurement window (1.0 = perfectly fair), from the flow ledger —
+    /// chaos windows that starve a subset of flows show up here even when
+    /// aggregate goodput recovers.
+    pub fairness_jain: f64,
     /// Per-event scores, in timeline order.
     pub events: Vec<EventScore>,
     /// Total watchdog checks across the run.
@@ -101,6 +106,7 @@ impl ArmReport {
         fnv1a(h, self.drop_rate_pct.to_bits());
         fnv1a(h, self.p99_rpc_ns.unwrap_or(u64::MAX));
         fnv1a(h, self.pre_mean_gbps.to_bits());
+        fnv1a(h, self.fairness_jain.to_bits());
         fnv1a(h, self.watchdog_checks);
         fnv1a(h, self.violations);
         fnv1a(h, self.annotated_violations);
@@ -141,7 +147,7 @@ impl ArmReport {
             .collect();
         format!(
             "{{\"hostcc\":{},\"goodput_gbps\":{},\"drop_rate_pct\":{},\"p99_rpc_ns\":{},\
-             \"pre_mean_gbps\":{},\"watchdog_checks\":{},\"violations\":{},\
+             \"pre_mean_gbps\":{},\"fairness_jain\":{},\"watchdog_checks\":{},\"violations\":{},\
              \"annotated_violations\":{},\"telemetry_fingerprint\":\"{:#018x}\",\
              \"events\":[{}]}}",
             self.hostcc,
@@ -150,6 +156,7 @@ impl ArmReport {
             self.p99_rpc_ns
                 .map_or("null".to_string(), |v| v.to_string()),
             jf(self.pre_mean_gbps),
+            jf(self.fairness_jain),
             self.watchdog_checks,
             self.violations,
             self.annotated_violations,
@@ -225,7 +232,7 @@ impl ResilienceReport {
         for arm in [&self.off, &self.on] {
             out.push_str(&format!(
                 "hostcc {}: goodput {:.1} Gbps (pre-fault {:.1}), drops {:.3} %{}, \
-                 watchdog {}/{} violation(s) ({} annotated)\n",
+                 fairness {:.3}, watchdog {}/{} violation(s) ({} annotated)\n",
                 if arm.hostcc { "on " } else { "off" },
                 arm.goodput_gbps,
                 arm.pre_mean_gbps,
@@ -234,6 +241,7 @@ impl ResilienceReport {
                     ", rpc p99 {:.1} us",
                     v as f64 / 1e3
                 )),
+                arm.fairness_jain,
                 arm.violations,
                 arm.watchdog_checks,
                 arm.annotated_violations,
@@ -296,6 +304,7 @@ mod tests {
             drop_rate_pct: 0.1,
             p99_rpc_ns: Some(250_000),
             pre_mean_gbps: 90.0,
+            fairness_jain: 0.97,
             events: vec![EventScore {
                 index: 0,
                 kind: ChaosKind::LinkFlap,
@@ -352,6 +361,7 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"preset\":\"flap\""));
         assert!(a.contains("\"recovered\":true"));
+        assert!(a.contains("\"fairness_jain\":0.97"), "{a}");
         assert!(
             !a.contains("wall"),
             "no wall-clock in the byte-compared export"

@@ -9,9 +9,10 @@
 //! and network congestion signals merge into a single CE stream.
 
 use hostcc_fabric::Packet;
+use hostcc_flowscope::FlowscopeHandle;
 
 /// Receiver-side ECN marking with accounting.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EcnEcho {
     /// Packets this echo marked (excluding already-CE packets).
     pub host_marks: u64,
@@ -19,6 +20,9 @@ pub struct EcnEcho {
     pub fabric_marks: u64,
     /// Packets processed.
     pub processed: u64,
+    /// Flow-ledger recorder: attributes CE marks per flow, classified as
+    /// host-echo vs fabric (disabled by default).
+    flowscope: FlowscopeHandle,
 }
 
 impl EcnEcho {
@@ -27,16 +31,23 @@ impl EcnEcho {
         Self::default()
     }
 
+    /// Attach a flow-ledger recorder.
+    pub fn set_flowscope(&mut self, handle: FlowscopeHandle) {
+        self.flowscope = handle;
+    }
+
     /// Apply the marking decision to a delivered packet.
     pub fn process(&mut self, pkt: &mut Packet, mark: bool) {
         self.processed += 1;
         if pkt.ecn.is_ce() {
             self.fabric_marks += 1;
+            self.flowscope.ecn_mark(pkt.flow.0, false);
             return;
         }
         if mark {
             pkt.mark_ce();
             self.host_marks += 1;
+            self.flowscope.ecn_mark(pkt.flow.0, true);
         }
     }
 
@@ -49,9 +60,11 @@ impl EcnEcho {
         }
     }
 
-    /// Reset window counters.
+    /// Reset window counters (the attached recorder, if any, stays).
     pub fn reset_window(&mut self) {
-        *self = EcnEcho::new();
+        self.host_marks = 0;
+        self.fabric_marks = 0;
+        self.processed = 0;
     }
 }
 

@@ -7,8 +7,9 @@
 //!       [--telemetry] [--telemetry-interval NS] [--telemetry-filter PREFIXES]
 //!       [--telemetry-out DIR] [--strict-invariants]
 //!       <baseline|congested|hostcc|incast>
+//! repro flows [--quick] [--scenario NAME] [--out DIR]
 //! repro sweep [--quick] [--workers N] [--out DIR] [--telemetry]
-//!       [--strict-invariants] <preset | axis=v1,v2 ...>
+//!       [--strict-invariants] [--flows] <preset | axis=v1,v2 ...>
 //! repro sweep --list
 //! repro chaos [--quick] [--workers N] [--strict-invariants] [--out DIR]
 //!       [--preset NAME | NAME|SPEC ...]
@@ -38,6 +39,15 @@
 //! the given dot-separated prefixes (e.g. `host.iio,core.signals`), and
 //! `--strict-invariants` (implies `--telemetry`) exits nonzero with the
 //! watchdog's diagnostic if any conservation invariant is violated.
+//!
+//! `repro flows` runs one scenario with the flow-ledger recorder
+//! (hostcc-flowscope) attached and prints the packet-lifecycle
+//! stage-residency breakdown — whose per-stage sums are
+//! conservation-checked, exactly in integer nanoseconds, against the
+//! measured end-to-end latency — plus the per-flow table (FCT, goodput,
+//! ECN marks, retransmits, cwnd) with Jain's fairness index and the
+//! convergence time. `--out DIR` writes `flows.json` and `flows.csv`;
+//! the exit code is nonzero if conservation fails.
 //!
 //! `repro sweep` expands a declarative grid — a named preset
 //! (`repro sweep --list`) or ad-hoc axes (`repro sweep hostcc=off,on
@@ -83,6 +93,7 @@ use hostcc_experiments::grid::GridSpec;
 use hostcc_experiments::resilience::run_chaos;
 use hostcc_experiments::sweep::{run_sweep, SweepOptions};
 use hostcc_experiments::{known_metrics, unknown_telemetry_prefixes, Scenario, Simulation};
+use hostcc_flowscope::{FlowScope, FlowscopeHandle};
 use hostcc_perf::{compare_gated, BenchReport, PerfHandle, PerfProfiler};
 use hostcc_sim::Nanos;
 use hostcc_telemetry::{
@@ -138,6 +149,7 @@ fn usage() -> ExitCode {
          [--telemetry] [--telemetry-interval NS] [--telemetry-filter PREFIXES] \
          [--telemetry-out DIR] [--strict-invariants] [--profile] <target>..."
     );
+    eprintln!("       repro flows [--quick] [--scenario NAME] [--out DIR]");
     eprintln!("       repro sweep [--quick] [--workers N] [--out DIR] <preset | axis=v1,v2 ...>");
     eprintln!("       repro chaos [--quick] [--workers N] [--out DIR] [--preset NAME | SPEC ...]");
     eprintln!(
@@ -362,7 +374,7 @@ fn build_spec(positionals: &[String]) -> Result<GridSpec, String> {
 fn sweep_usage() -> ExitCode {
     eprintln!(
         "usage: repro sweep [--quick] [--workers N] [--out DIR] [--no-trace] \
-         [--trace-filter CATS] [--telemetry] [--strict-invariants] \
+         [--trace-filter CATS] [--telemetry] [--flows] [--strict-invariants] \
          <preset | axis=v1,v2 ...>"
     );
     eprintln!("       repro sweep --list");
@@ -385,6 +397,7 @@ fn sweep_main(args: &[String]) -> ExitCode {
             "--quick" => budget = Budget::quick(),
             "--no-trace" => opts.trace = false,
             "--telemetry" => opts.telemetry = true,
+            "--flows" => opts.flows = true,
             "--strict-invariants" => {
                 opts.telemetry = true;
                 opts.strict_invariants = true;
@@ -464,6 +477,15 @@ fn sweep_main(args: &[String]) -> ExitCode {
             t.fingerprint(),
         );
     }
+    if let Some(f) = &manifest.flowscope {
+        println!(
+            "flows: {} delivered, {} dropped, {} conservation failure(s), fingerprint {:#018x}",
+            f.completed,
+            f.dropped,
+            f.conservation_failures,
+            f.fingerprint(),
+        );
+    }
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
@@ -480,6 +502,84 @@ fn sweep_main(args: &[String]) -> ExitCode {
             }
             println!("[wrote {path}]");
         }
+    }
+    ExitCode::SUCCESS
+}
+
+fn flows_usage() -> ExitCode {
+    eprintln!("usage: repro flows [--quick] [--scenario NAME] [--out DIR]");
+    eprintln!("scenarios: {}", valid_scenarios().join(" "));
+    ExitCode::FAILURE
+}
+
+fn flows_main(args: &[String]) -> ExitCode {
+    let mut budget = Budget::standard();
+    let mut scenario = "congested".to_string();
+    let mut out_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => budget = Budget::quick(),
+            "--scenario" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => scenario = name.clone(),
+                    None => return flows_usage(),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = Some(dir.clone()),
+                    None => return flows_usage(),
+                }
+            }
+            "--help" | "-h" => return flows_usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                return flows_usage();
+            }
+            positional => scenario = positional.to_string(),
+        }
+        i += 1;
+    }
+    let Some((name, make)) = SCENARIOS.iter().find(|(n, _)| *n == scenario) else {
+        eprintln!(
+            "unknown scenario '{scenario}'\nscenarios: {}",
+            valid_scenarios().join(" ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut sim = Simulation::new(budget.apply(make()));
+    sim.set_flowscope(FlowscopeHandle::new(FlowScope::new()));
+    let r = sim.run();
+    let fs = r.flowscope.expect("the recorder was attached above");
+    println!("== flows {name} ==");
+    print!("{}", fs.render());
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for (file, contents) in [("flows.json", fs.to_json()), ("flows.csv", fs.flow_csv())] {
+            let path = format!("{dir}/{file}");
+            if let Err(e) = std::fs::write(&path, &contents) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("[wrote {path}: {} bytes]", contents.len());
+        }
+    }
+    if !fs.conservation_holds() {
+        eprintln!(
+            "conservation FAILED: stage sums {} ns vs e2e {} ns ({} per-packet failures, \
+             {} orphan stamps)",
+            fs.summary.stage_grand_total_ns(),
+            fs.summary.e2e_total_ns,
+            fs.summary.conservation_failures,
+            fs.orphan_stamps,
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -828,6 +928,9 @@ fn main() -> ExitCode {
     }
     if raw.first().map(String::as_str) == Some("chaos") {
         return chaos_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("flows") {
+        return flows_main(&raw[1..]);
     }
     if raw.first().map(String::as_str) == Some("bench") {
         return bench_main(&raw[1..]);

@@ -19,6 +19,7 @@
 //!   outside) fault windows.
 
 use hostcc_chaos::{ArmReport, ChaosTimeline, EventScore, ResilienceReport};
+use hostcc_flowscope::{FlowScope, FlowscopeHandle};
 use hostcc_metrics::Histogram;
 use hostcc_sim::Nanos;
 
@@ -50,17 +51,25 @@ pub fn run_chaos(spec: &str, budget: &Budget, workers: usize) -> Result<Resilien
     let off = base.clone();
     let on = base.clone().enable_hostcc();
 
+    // Both arms carry a flow ledger so the report can score per-flow
+    // fairness alongside the aggregate dips (a fault that starves a subset
+    // of flows is invisible in aggregate goodput).
+    let run_arm = |s: Scenario| {
+        let mut sim = Simulation::new(s);
+        sim.set_flowscope(FlowscopeHandle::new(FlowScope::new()));
+        sim.run()
+    };
     let (off_result, on_result) = if workers >= 2 {
         std::thread::scope(|scope| {
-            let off_handle = scope.spawn(|| Simulation::new(off).run());
-            let on_handle = scope.spawn(|| Simulation::new(on).run());
+            let off_handle = scope.spawn(|| run_arm(off));
+            let on_handle = scope.spawn(|| run_arm(on));
             (
                 off_handle.join().expect("chaos off-arm panicked"),
                 on_handle.join().expect("chaos on-arm panicked"),
             )
         })
     } else {
-        (Simulation::new(off).run(), Simulation::new(on).run())
+        (run_arm(off), run_arm(on))
     };
 
     Ok(ResilienceReport {
@@ -92,6 +101,10 @@ fn score_arm(
         .as_ref()
         .ok_or("chaos arm ran without telemetry")?;
     let summary = &telemetry.summary;
+    let flowscope = result
+        .flowscope
+        .as_ref()
+        .ok_or("chaos arm ran without a flow ledger")?;
     let bw: Vec<(Nanos, f64)> = result
         .series("host.pcie.bw_gbps")
         .map(|s| s.iter().collect())
@@ -186,6 +199,7 @@ fn score_arm(
         drop_rate_pct: result.drop_rate_pct,
         p99_rpc_ns,
         pre_mean_gbps,
+        fairness_jain: flowscope.jain,
         events,
         watchdog_checks: summary.checks,
         violations: summary.total_violations(),
@@ -224,6 +238,14 @@ mod tests {
         assert!(r.off.watchdog_checks > 0);
         assert!(r.verdict().is_ok(), "{:?}", r.verdict());
         assert!(r.off.p99_rpc_ns.is_some(), "RPC workload was attached");
+        // Both arms score fairness from the flow ledger.
+        for arm in [&r.off, &r.on] {
+            assert!(
+                (0.0..=1.0).contains(&arm.fairness_jain) && arm.fairness_jain > 0.0,
+                "jain = {}",
+                arm.fairness_jain
+            );
+        }
     }
 
     #[test]

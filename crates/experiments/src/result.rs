@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use hostcc_flowscope::FlowscopeResult;
 use hostcc_metrics::{Cdf, Histogram, TimeSeries};
 use hostcc_sim::{Nanos, Rate};
 use hostcc_telemetry::TelemetryResult;
@@ -75,6 +76,12 @@ pub struct RunResult {
     /// `None` on un-traced runs, so results stay comparable to the
     /// tracing-free baseline.
     pub trace: Option<TraceCounts>,
+    /// The per-flow ledger and stage-residency breakdown (when a recorder
+    /// was attached via
+    /// [`Simulation::set_flowscope`](crate::Simulation::set_flowscope)).
+    /// `None` on recorder-free runs, so results stay comparable to the
+    /// flowscope-free baseline.
+    pub flowscope: Option<FlowscopeResult>,
 }
 
 impl RunResult {

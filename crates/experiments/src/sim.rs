@@ -19,6 +19,7 @@ use hostcc_fabric::{
     Arena, ArenaRef, Departure, EnqueueOutcome, FaultInjector, FaultOutcome, FlowId, FqLink,
     Packet, PacketArena, PacketRef, SwitchPort,
 };
+use hostcc_flowscope::{FlowscopeHandle, Stage};
 use hostcc_host::{MsrReadModel, RxHost, TickOutput, TxHost, MBA_LEVELS};
 use hostcc_metrics::Cdf;
 use hostcc_perf::{PerfHandle, PerfScope};
@@ -126,8 +127,9 @@ pub struct Simulation {
     acks: Arena<AckMsg>,
     /// Reused host tick output (cleared and refilled by `tick_into`).
     tick_out: TickOutput,
-    /// Reused pump-flow burst buffer for `FqLink::enqueue_burst`.
-    burst: Vec<(PacketRef, u64)>,
+    /// Reused pump-flow burst buffer for `FqLink::enqueue_burst`
+    /// (handle, wire bytes, packet id).
+    burst: Vec<(PacketRef, u64, u64)>,
     /// Reused TX-DMA release buffer for `TxHost::tick_into`.
     tx_release: Vec<Packet>,
     senders: Vec<FqLink>,
@@ -197,6 +199,12 @@ pub struct Simulation {
     /// simulation state — so a profiled run is bit-identical to an
     /// unprofiled one (pinned by test below).
     perf: PerfHandle,
+    /// Per-flow ledger and packet-lifecycle recorder; disabled by default.
+    /// Clones live in every fq link, the RX host, every flow and the ECN
+    /// echo; the copy here stamps the boundaries owned by the event loop
+    /// (send, switch residency, drops, final stack delivery) because the
+    /// fabric types there don't hold packet identity.
+    flowscope: FlowscopeHandle,
 }
 
 fn make_cc(kind: CcKind, base_rtt: Nanos) -> Box<dyn hostcc_transport::CongestionControl> {
@@ -383,6 +391,7 @@ impl Simulation {
             next_tick: tick,
             trace: TraceHandle::disabled(),
             perf: PerfHandle::disabled(),
+            flowscope: FlowscopeHandle::disabled(),
             cfg,
         }
     }
@@ -402,6 +411,33 @@ impl Simulation {
             f.set_trace(trace.clone());
         }
         self.trace = trace;
+    }
+
+    /// Attach a flow-ledger recorder: clones are pushed into every fq link,
+    /// the RX host, every flow and the ECN echo, and every flow is
+    /// registered up front (greedy = NetApp-T bulk flow, so RPC flows are
+    /// excluded from fairness/convergence scoring). Call before `run`;
+    /// [`RunResult::flowscope`](crate::RunResult::flowscope) carries the
+    /// frozen result.
+    pub fn set_flowscope(&mut self, flowscope: FlowscopeHandle) {
+        for i in 0..self.flows.len() {
+            flowscope.register_flow(i as u32, self.greedy.contains(&i));
+        }
+        for l in &mut self.senders {
+            l.set_flowscope(flowscope.clone());
+        }
+        self.rx.set_flowscope(flowscope.clone());
+        self.echo.set_flowscope(flowscope.clone());
+        for f in &mut self.flows {
+            f.set_flowscope(flowscope.clone());
+        }
+        self.flowscope = flowscope;
+    }
+
+    /// The shared flowscope handle (disabled unless
+    /// [`Simulation::set_flowscope`] enabled it).
+    pub fn flowscope(&self) -> &FlowscopeHandle {
+        &self.flowscope
     }
 
     /// Attach a telemetry pipeline (replacing the default one
@@ -542,7 +578,10 @@ impl Simulation {
                 // Every drop path below must free the arena slot — an
                 // interned packet has exactly one owner, and on a drop the
                 // owner is this handler.
-                let flow = self.arena.get(pkt).flow.0;
+                let (flow, id) = {
+                    let p = self.arena.get(pkt);
+                    (p.flow.0, p.id)
+                };
                 // Burst-loss chaos windows: every open burst draws for every
                 // packet (streams stay aligned however the other bursts
                 // land); any hit drops the packet before the switch.
@@ -556,6 +595,7 @@ impl Simulation {
                     if hit {
                         c.drops += 1;
                         self.arena.remove(pkt);
+                        self.flowscope.packet_dropped(id, now);
                         self.trace.emit(now, || TraceEvent::PacketDrop {
                             flow,
                             locus: DropLocus::Fault,
@@ -566,6 +606,7 @@ impl Simulation {
                 match self.fault.apply() {
                     FaultOutcome::Drop => {
                         self.arena.remove(pkt);
+                        self.flowscope.packet_dropped(id, now);
                         self.trace.emit(now, || TraceEvent::PacketDrop {
                             flow,
                             locus: DropLocus::Fault,
@@ -578,6 +619,7 @@ impl Simulation {
                         // short-circuit the host datapath for simplicity.
                         self.corrupt_drops += 1;
                         self.arena.remove(pkt);
+                        self.flowscope.packet_dropped(id, now);
                         self.trace.emit(now, || TraceEvent::PacketDrop {
                             flow,
                             locus: DropLocus::Fault,
@@ -590,12 +632,18 @@ impl Simulation {
                 match self.switch.enqueue(now, wire_bytes) {
                     EnqueueOutcome::Dropped => {
                         self.arena.remove(pkt);
+                        self.flowscope.packet_dropped(id, now);
                         self.trace.emit(now, || TraceEvent::PacketDrop {
                             flow,
                             locus: DropLocus::Switch,
                         });
                     }
                     EnqueueOutcome::Enqueued { departs, marked } => {
+                        // Propagation closes now; switch residency closes at
+                        // the (future) departure instant — safe to stamp
+                        // early, any later stamp is later still.
+                        self.flowscope.boundary(id, Stage::PropToSwitch, now);
+                        self.flowscope.boundary(id, Stage::SwitchQueue, departs);
                         if marked {
                             self.arena.get_mut(pkt).mark_ce();
                             self.trace
@@ -615,6 +663,7 @@ impl Simulation {
             }
             Ev::DeliverStack { pkt } => {
                 let pkt = self.arena.remove(pkt);
+                self.flowscope.delivered(pkt.id, pkt.payload_bytes(), now);
                 let idx = pkt.flow.0 as usize;
                 let ack = self.recvs[idx].on_data(&pkt, now);
                 self.last_advertised_rwnd[idx] = ack.rwnd;
@@ -789,6 +838,7 @@ impl Simulation {
         if sender == 0 {
             if let Some(tx) = &mut self.tx_host {
                 while let Some(pkt) = self.flows[idx].poll_send(now) {
+                    self.flowscope.packet_sent(pkt.id, pkt.flow.0, now);
                     tx.enqueue(pkt);
                 }
                 return;
@@ -803,7 +853,9 @@ impl Simulation {
         while let Some(pkt) = self.flows[idx].poll_send(now) {
             flow = pkt.flow;
             let bytes = pkt.wire_bytes();
-            self.burst.push((self.arena.insert(pkt), bytes));
+            let id = pkt.id;
+            self.flowscope.packet_sent(id, flow.0, now);
+            self.burst.push((self.arena.insert(pkt), bytes, id));
         }
         let mut burst = std::mem::take(&mut self.burst);
         if let Some(Departure { at, pkt }) =
@@ -850,8 +902,11 @@ impl Simulation {
             for pkt in released.drain(..) {
                 let flow = pkt.flow;
                 let bytes = pkt.wire_bytes();
+                let id = pkt.id;
                 let r = self.arena.insert(pkt);
-                if let Some(Departure { at, pkt }) = self.senders[0].enqueue(now, flow, bytes, r) {
+                if let Some(Departure { at, pkt }) =
+                    self.senders[0].enqueue(now, flow, bytes, id, r)
+                {
                     self.q.schedule(at, Ev::Depart { sender: 0, pkt });
                 }
             }
@@ -1134,6 +1189,8 @@ impl Simulation {
             rpc.reset_window();
         }
         self.telemetry.with_mut(|t| t.reset_window());
+        let now = self.q.now();
+        self.flowscope.with_mut(|f| f.reset_window(now));
     }
 
     fn collect(&mut self, window: Nanos) -> RunResult {
@@ -1233,6 +1290,7 @@ impl Simulation {
             read_bs_cdf: std::mem::take(&mut self.read_bs_cdf),
             telemetry: self.telemetry.result(),
             trace: self.trace.counts(),
+            flowscope: self.flowscope.result(self.q.now()),
         }
     }
 }
@@ -1458,6 +1516,58 @@ mod tests {
         let (pt, it) = (plain.telemetry.unwrap(), profiled.telemetry.unwrap());
         assert_eq!(pt.summary.samples, it.summary.samples);
         assert_eq!(pt.summary.total_violations(), it.summary.total_violations());
+    }
+
+    #[test]
+    fn flowscope_does_not_perturb_the_run() {
+        use crate::sweep::CellMetrics;
+        use hostcc_flowscope::FlowScope;
+        let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+        s.record = true; // telemetry on in both runs, so fingerprints cover it
+        let plain = quick(s.clone());
+        s.warmup = Nanos::from_millis(2);
+        s.measure = Nanos::from_millis(4);
+        let mut sim = Simulation::new(s);
+        sim.set_flowscope(FlowscopeHandle::new(FlowScope::new()));
+        let scoped = sim.run();
+        // Bit-identical RunResult: the recorder only reads model state.
+        assert_eq!(plain.goodput.as_gbps(), scoped.goodput.as_gbps());
+        assert_eq!(plain.nic_drops, scoped.nic_drops);
+        assert_eq!(plain.data_packets, scoped.data_packets);
+        assert_eq!(plain.host_marks, scoped.host_marks);
+        assert_eq!(plain.mba_writes, scoped.mba_writes);
+        assert_eq!(
+            CellMetrics::from_result(&plain).fingerprint(),
+            CellMetrics::from_result(&scoped).fingerprint()
+        );
+        let (pt, it) = (plain.telemetry.unwrap(), scoped.telemetry.unwrap());
+        assert_eq!(pt.summary.fingerprint(), it.summary.fingerprint());
+        assert!(plain.flowscope.is_none());
+        assert!(scoped.flowscope.is_some());
+    }
+
+    #[test]
+    fn flowscope_conserves_latency_and_scores_fairness() {
+        use hostcc_flowscope::FlowScope;
+        let mut s = Scenario::with_congestion(3.0).enable_hostcc();
+        s.warmup = Nanos::from_millis(2);
+        s.measure = Nanos::from_millis(4);
+        let mut sim = Simulation::new(s);
+        sim.set_flowscope(FlowscopeHandle::new(FlowScope::new()));
+        let r = sim.run();
+        let fs = r.flowscope.expect("recorder was attached");
+        assert!(fs.summary.completed > 0, "packets must complete");
+        assert!(
+            fs.conservation_holds(),
+            "stage sums must equal e2e exactly: stage={} e2e={} failures={} orphans={}",
+            fs.summary.stage_grand_total_ns(),
+            fs.summary.e2e_total_ns,
+            fs.summary.conservation_failures,
+            fs.orphan_stamps,
+        );
+        assert!((0.0..=1.0).contains(&fs.jain), "jain = {}", fs.jain);
+        // Greedy flows all carry traffic, so every ledger row has bytes.
+        assert!(fs.flows.iter().any(|f| f.delivered_bytes > 0));
     }
 
     #[test]

@@ -35,6 +35,7 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
+use hostcc_flowscope::{FlowScope, FlowscopeHandle, FlowscopeResult, FlowscopeSummary};
 use hostcc_metrics::{f2, pct, Cdf, Table};
 use hostcc_perf::{PerfHandle, PerfProfiler, PerfReport};
 use hostcc_telemetry::{Telemetry, TelemetryConfig, TelemetryHandle, TelemetrySummary};
@@ -67,6 +68,13 @@ pub struct SweepOptions {
     /// the manifest. Wall-clock only: the profiled runs stay bit-identical
     /// and the merged report never enters the fingerprint or the CSV.
     pub perf: bool,
+    /// Attach a flow-ledger recorder ([`hostcc_flowscope::FlowScope`]) to
+    /// every cell: per-cell flow tables and stage-residency summaries land
+    /// on the runs and a commutatively merged [`FlowscopeSummary`] on the
+    /// manifest. Like telemetry, the per-cell fingerprints fold into the
+    /// manifest fingerprint only when this is on — flows-off sweeps keep
+    /// their original fingerprints.
+    pub flows: bool,
 }
 
 impl Default for SweepOptions {
@@ -78,6 +86,7 @@ impl Default for SweepOptions {
             telemetry: false,
             strict_invariants: false,
             perf: false,
+            flows: false,
         }
     }
 }
@@ -256,6 +265,10 @@ pub struct CellRun {
     pub telemetry: Option<TelemetrySummary>,
     /// First watchdog diagnostic, if any invariant was violated.
     pub telemetry_diagnostic: Option<String>,
+    /// The cell's flow ledger and stage-residency breakdown (None when
+    /// `SweepOptions::flows` was off). Deterministic: equal at any worker
+    /// count.
+    pub flowscope: Option<FlowscopeResult>,
     /// Simulation events processed (deterministic).
     pub events: u64,
     /// Simulated nanoseconds covered (deterministic).
@@ -325,6 +338,9 @@ fn run_one(cell: &Cell, opts: &SweepOptions, worker: usize) -> (CellRun, Cdf, Cd
     if opts.perf {
         sim.set_perf(PerfHandle::new(PerfProfiler::new()));
     }
+    if opts.flows {
+        sim.set_flowscope(FlowscopeHandle::new(FlowScope::new()));
+    }
     let profiler = SimRateProfiler::start(sim.events_processed(), sim.now());
     let result = sim.run();
     let report = profiler.finish(sim.events_processed(), sim.now());
@@ -338,6 +354,7 @@ fn run_one(cell: &Cell, opts: &SweepOptions, worker: usize) -> (CellRun, Cdf, Cd
         trace: result.trace.unwrap_or_default(),
         telemetry: result.telemetry.as_ref().map(|t| t.summary.clone()),
         telemetry_diagnostic: result.telemetry.as_ref().and_then(|t| t.diagnostic.clone()),
+        flowscope: result.flowscope,
         events: report.events,
         sim_ns: report.sim_ns,
         wall_secs: report.wall_secs,
@@ -411,6 +428,7 @@ pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, 
 
     let mut trace_totals = TraceCounts::default();
     let mut telemetry_totals: Option<TelemetrySummary> = None;
+    let mut flowscope_totals: Option<FlowscopeSummary> = None;
     let mut perf_totals: Option<PerfReport> = None;
     let mut cell_wall_secs = 0.0;
     let mut events = 0u64;
@@ -433,6 +451,12 @@ pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, 
             telemetry_totals
                 .get_or_insert_with(TelemetrySummary::default)
                 .merge(s);
+        }
+        if let Some(f) = &r.flowscope {
+            fnv1a(&mut fingerprint, f.fingerprint());
+            flowscope_totals
+                .get_or_insert_with(FlowscopeSummary::default)
+                .merge(&f.summary);
         }
         if let Some(p) = &r.perf {
             perf_totals.get_or_insert_with(PerfReport::default).merge(p);
@@ -464,6 +488,7 @@ pub fn run_sweep(spec: &GridSpec, opts: &SweepOptions) -> Result<SweepManifest, 
         cells: runs,
         trace_totals,
         telemetry: telemetry_totals,
+        flowscope: flowscope_totals,
         perf: perf_totals,
         wall_secs,
         cell_wall_secs,
@@ -490,6 +515,10 @@ pub struct SweepManifest {
     /// Telemetry summaries merged over all cells, in grid order (None when
     /// telemetry was off).
     pub telemetry: Option<TelemetrySummary>,
+    /// Flow-ledger summaries merged over all cells, in grid order (None
+    /// when `SweepOptions::flows` was off). The merge is commutative, so
+    /// the value is equal at any worker count.
+    pub flowscope: Option<FlowscopeSummary>,
     /// Wall-clock attribution merged over all cells (None when
     /// `SweepOptions::perf` was off). Non-deterministic, and — like every
     /// wall-clock field — excluded from the fingerprint and the CSV.
@@ -654,6 +683,19 @@ impl SweepManifest {
                 t.fingerprint()
             ));
         }
+        if let Some(f) = &self.flowscope {
+            s.push_str(&format!(
+                "  \"flowscope\": {{\"completed\": {}, \"dropped\": {}, \
+                 \"conservation_failures\": {}, \"stage_total_ns\": {}, \
+                 \"e2e_total_ns\": {}, \"fingerprint\": \"{:#018x}\"}},\n",
+                f.completed,
+                f.dropped,
+                f.conservation_failures,
+                f.stage_grand_total_ns(),
+                f.e2e_total_ns,
+                f.fingerprint()
+            ));
+        }
         s.push_str("  \"trace_totals\": {");
         let mut first = true;
         for (kind, count) in self.trace_totals.iter() {
@@ -688,6 +730,15 @@ impl SweepManifest {
                     "\"telemetry_fingerprint\": \"{:#018x}\", \"watchdog_violations\": {}, ",
                     ts.fingerprint(),
                     ts.total_violations()
+                ));
+            }
+            if let Some(fs) = &c.flowscope {
+                s.push_str(&format!(
+                    "\"flowscope_fingerprint\": \"{:#018x}\", \"flowscope_jain\": {}, \
+                     \"flowscope_conservation_failures\": {}, ",
+                    fs.fingerprint(),
+                    json_f64(fs.jain),
+                    fs.summary.conservation_failures
                 ));
             }
             s.push_str(&format!(
@@ -1047,6 +1098,57 @@ mod tests {
         assert!(without.telemetry.is_none());
         assert_ne!(without.fingerprint, serial.fingerprint);
         assert!(!without.to_json().contains("telemetry_fingerprint"));
+    }
+
+    #[test]
+    fn flowscope_summaries_are_deterministic_and_merged() {
+        let spec = tiny_grid();
+        let opts = |workers| SweepOptions {
+            workers,
+            flows: true,
+            ..SweepOptions::default()
+        };
+        let serial = run_sweep(&spec, &opts(1)).unwrap();
+        let parallel = run_sweep(&spec, &opts(4)).unwrap();
+        assert_eq!(serial.fingerprint, parallel.fingerprint);
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            let fa = a.flowscope.as_ref().expect("flows was on");
+            let fb = b.flowscope.as_ref().expect("flows was on");
+            assert_eq!(fa.fingerprint(), fb.fingerprint(), "cell {}", a.key);
+            assert!(fa.conservation_holds(), "cell {}", a.key);
+        }
+        let total = serial.flowscope.as_ref().expect("merged summary present");
+        assert_eq!(
+            total.completed,
+            serial
+                .cells
+                .iter()
+                .map(|c| c.flowscope.as_ref().unwrap().summary.completed)
+                .sum::<u64>()
+        );
+        assert_eq!(total.stage_grand_total_ns(), total.e2e_total_ns);
+        let json = serial.to_json();
+        assert!(json.contains("\"flowscope_fingerprint\""), "{json}");
+        assert!(json.contains("\"flowscope\": {\"completed\": "), "{json}");
+
+        // Flows-off sweeps keep their original fingerprints and CSV: the
+        // recorder never perturbs the cells, and its fingerprints only
+        // fold in when the option is on.
+        let without = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers: 1,
+                ..SweepOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(without.flowscope.is_none());
+        assert_ne!(without.fingerprint, serial.fingerprint);
+        assert_eq!(without.to_csv(), serial.to_csv());
+        for (a, b) in without.cells.iter().zip(&serial.cells) {
+            assert_eq!(a.metrics, b.metrics, "recorder must not perturb cells");
+        }
+        assert!(!without.to_json().contains("flowscope_fingerprint"));
     }
 
     #[test]

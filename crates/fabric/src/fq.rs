@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 
+use hostcc_flowscope::{FlowscopeHandle, Stage};
 use hostcc_sim::{Nanos, Rate};
 
 use crate::packet::{FlowId, PacketRef};
@@ -37,8 +38,10 @@ pub struct Departure {
 #[derive(Debug)]
 pub struct FqLink {
     rate: Rate,
-    /// Per-flow FIFO queues of (handle, wire bytes), indexed by `FlowId.0`.
-    queues: Vec<VecDeque<(PacketRef, u64)>>,
+    /// Per-flow FIFO queues of (handle, wire bytes, packet id), indexed by
+    /// `FlowId.0`. The id rides along so the flowscope recorder can stamp
+    /// stage boundaries without resolving the arena handle.
+    queues: Vec<VecDeque<(PacketRef, u64, u64)>>,
     /// Queued bytes per flow, same indexing (O(1) [`FqLink::flow_backlog`]).
     flow_bytes: Vec<u64>,
     /// Round-robin order over flows with queued packets.
@@ -52,6 +55,9 @@ pub struct FqLink {
     backlog_bytes: u64,
     /// Total packets ever serialized.
     pub sent: u64,
+    /// Lifecycle recorder (disabled by default; stamps [`Stage::TxDma`],
+    /// [`Stage::FqQueue`] and [`Stage::Serialize`] boundaries).
+    flowscope: FlowscopeHandle,
 }
 
 impl FqLink {
@@ -67,7 +73,13 @@ impl FqLink {
             up: true,
             backlog_bytes: 0,
             sent: 0,
+            flowscope: FlowscopeHandle::disabled(),
         }
+    }
+
+    /// Attach a packet-lifecycle recorder.
+    pub fn set_flowscope(&mut self, handle: FlowscopeHandle) {
+        self.flowscope = handle;
     }
 
     /// The serialization rate.
@@ -130,13 +142,15 @@ impl FqLink {
     /// Offer a packet at `now`. If the link was idle the packet enters
     /// service immediately and its departure is returned for scheduling.
     ///
-    /// `wire_bytes` is the packet's on-wire size; the link caches it with
-    /// the handle so serving packets never touches the arena.
+    /// `wire_bytes` is the packet's on-wire size and `id` its packet id;
+    /// the link caches both with the handle so serving packets never
+    /// touches the arena.
     pub fn enqueue(
         &mut self,
         now: Nanos,
         flow: FlowId,
         wire_bytes: u64,
+        id: u64,
         pkt: PacketRef,
     ) -> Option<Departure> {
         let idx = self.ensure_flow(flow);
@@ -145,7 +159,8 @@ impl FqLink {
         }
         self.backlog_bytes += wire_bytes;
         self.flow_bytes[idx] += wire_bytes;
-        self.queues[idx].push_back((pkt, wire_bytes));
+        self.flowscope.boundary(id, Stage::TxDma, now);
+        self.queues[idx].push_back((pkt, wire_bytes, id));
         if self.in_service_until.is_none() {
             return self.start_next(now);
         }
@@ -160,7 +175,7 @@ impl FqLink {
         &mut self,
         now: Nanos,
         flow: FlowId,
-        pkts: &mut Vec<(PacketRef, u64)>,
+        pkts: &mut Vec<(PacketRef, u64, u64)>,
     ) -> Option<Departure> {
         if pkts.is_empty() {
             return None;
@@ -169,9 +184,14 @@ impl FqLink {
         if self.queues[idx].is_empty() {
             self.active.push_back(flow.0);
         }
-        let burst_bytes: u64 = pkts.iter().map(|&(_, b)| b).sum();
+        let burst_bytes: u64 = pkts.iter().map(|&(_, b, _)| b).sum();
         self.backlog_bytes += burst_bytes;
         self.flow_bytes[idx] += burst_bytes;
+        if self.flowscope.is_enabled() {
+            for &(_, _, id) in pkts.iter() {
+                self.flowscope.boundary(id, Stage::TxDma, now);
+            }
+        }
         self.queues[idx].extend(pkts.drain(..));
         if self.in_service_until.is_none() {
             return self.start_next(now);
@@ -197,7 +217,7 @@ impl FqLink {
             }
         };
         let q = &mut self.queues[flow as usize];
-        let (pkt, wire_bytes) = q.pop_front().expect("non-empty");
+        let (pkt, wire_bytes, id) = q.pop_front().expect("non-empty");
         if !q.is_empty() {
             self.active.push_back(flow); // round-robin re-arm
         }
@@ -206,6 +226,10 @@ impl FqLink {
         let at = now + self.rate.time_for_bytes(wire_bytes);
         self.in_service_until = Some(at);
         self.sent += 1;
+        // Serialize closes at the (future) departure instant; safe to stamp
+        // early because any later stamp for this packet is later still.
+        self.flowscope.boundary(id, Stage::FqQueue, now);
+        self.flowscope.boundary(id, Stage::Serialize, at);
         Some(Departure { at, pkt })
     }
 }
@@ -215,12 +239,12 @@ mod tests {
     use super::*;
     use crate::packet::{Packet, PacketArena};
 
-    /// Intern a data packet; returns (flow, wire bytes, handle) ready to
-    /// feed straight into `enqueue`.
-    fn pkt(arena: &mut PacketArena, flow: u32, id: u64, len: u32) -> (FlowId, u64, PacketRef) {
+    /// Intern a data packet; returns (flow, wire bytes, id, handle) ready
+    /// to feed straight into `enqueue`.
+    fn pkt(arena: &mut PacketArena, flow: u32, id: u64, len: u32) -> (FlowId, u64, u64, PacketRef) {
         let p = Packet::data(id, FlowId(flow), 0, len, false, Nanos::ZERO);
         let bytes = p.wire_bytes();
-        (FlowId(flow), bytes, arena.insert(p))
+        (FlowId(flow), bytes, id, arena.insert(p))
     }
 
     fn link() -> FqLink {
@@ -231,8 +255,8 @@ mod tests {
     fn idle_link_starts_service_immediately() {
         let mut arena = PacketArena::new();
         let mut l = link();
-        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
-        let d = l.enqueue(Nanos::ZERO, f, b, r).expect("departure");
+        let (f, b, i, r) = pkt(&mut arena, 0, 1, 4030);
+        let d = l.enqueue(Nanos::ZERO, f, b, i, r).expect("departure");
         assert_eq!(d.at, Nanos::from_nanos(328)); // 4096 B at 12.5 B/ns
         assert_eq!(arena.get(d.pkt).id, 1);
     }
@@ -241,10 +265,10 @@ mod tests {
     fn busy_link_queues() {
         let mut arena = PacketArena::new();
         let mut l = link();
-        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
-        l.enqueue(Nanos::ZERO, f, b, r).unwrap();
-        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
-        assert!(l.enqueue(Nanos::ZERO, f, b, r).is_none());
+        let (f, b, i, r) = pkt(&mut arena, 0, 1, 4030);
+        l.enqueue(Nanos::ZERO, f, b, i, r).unwrap();
+        let (f, b, i, r) = pkt(&mut arena, 0, 2, 4030);
+        assert!(l.enqueue(Nanos::ZERO, f, b, i, r).is_none());
         assert_eq!(l.backlog_bytes(), 4096);
         // Departure of #1 starts #2.
         let d2 = l.on_depart(Nanos::from_nanos(328)).expect("next");
@@ -260,11 +284,11 @@ mod tests {
         // Flow 0 dumps 4 packets, then flow 1 enqueues one: flow 1 must be
         // served after at most one more flow-0 packet.
         for i in 1..=4 {
-            let (f, b, r) = pkt(&mut arena, 0, i, 4030);
-            l.enqueue(Nanos::ZERO, f, b, r);
+            let (f, b, i, r) = pkt(&mut arena, 0, i, 4030);
+            l.enqueue(Nanos::ZERO, f, b, i, r);
         }
-        let (f, b, r) = pkt(&mut arena, 1, 100, 100);
-        l.enqueue(Nanos::ZERO, f, b, r);
+        let (f, b, i, r) = pkt(&mut arena, 1, 100, 100);
+        l.enqueue(Nanos::ZERO, f, b, i, r);
         let mut order = Vec::new();
         let mut t = Nanos::from_nanos(328);
         while let Some(d) = l.on_depart(t) {
@@ -280,12 +304,12 @@ mod tests {
     fn per_flow_backlog_accounting() {
         let mut arena = PacketArena::new();
         let mut l = link();
-        let (f, b, r) = pkt(&mut arena, 0, 1, 4030); // in service
-        l.enqueue(Nanos::ZERO, f, b, r);
-        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
-        l.enqueue(Nanos::ZERO, f, b, r);
-        let (f, b, r) = pkt(&mut arena, 1, 3, 100);
-        l.enqueue(Nanos::ZERO, f, b, r);
+        let (f, b, i, r) = pkt(&mut arena, 0, 1, 4030); // in service
+        l.enqueue(Nanos::ZERO, f, b, i, r);
+        let (f, b, i, r) = pkt(&mut arena, 0, 2, 4030);
+        l.enqueue(Nanos::ZERO, f, b, i, r);
+        let (f, b, i, r) = pkt(&mut arena, 1, 3, 100);
+        l.enqueue(Nanos::ZERO, f, b, i, r);
         assert_eq!(l.flow_backlog(FlowId(0)), 4096);
         assert_eq!(l.flow_backlog(FlowId(1)), 166);
         assert_eq!(l.flow_backlog(FlowId(9)), 0, "unknown flow");
@@ -295,12 +319,14 @@ mod tests {
     fn work_conserving_across_gaps() {
         let mut arena = PacketArena::new();
         let mut l = link();
-        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
-        let d = l.enqueue(Nanos::ZERO, f, b, r).unwrap();
+        let (f, b, i, r) = pkt(&mut arena, 0, 1, 4030);
+        let d = l.enqueue(Nanos::ZERO, f, b, i, r).unwrap();
         assert!(l.on_depart(d.at).is_none());
         // Much later, a new packet starts immediately.
-        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
-        let d2 = l.enqueue(Nanos::from_millis(1), f, b, r).expect("starts");
+        let (f, b, i, r) = pkt(&mut arena, 0, 2, 4030);
+        let d2 = l
+            .enqueue(Nanos::from_millis(1), f, b, i, r)
+            .expect("starts");
         assert_eq!(d2.at, Nanos::from_millis(1) + Nanos::from_nanos(328));
     }
 
@@ -309,17 +335,17 @@ mod tests {
         let mut arena = PacketArena::new();
         let mut l = link();
         // Packet in service, one queued; link goes down mid-service.
-        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
-        let d1 = l.enqueue(Nanos::ZERO, f, b, r).unwrap();
-        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
-        l.enqueue(Nanos::ZERO, f, b, r);
+        let (f, b, i, r) = pkt(&mut arena, 0, 1, 4030);
+        let d1 = l.enqueue(Nanos::ZERO, f, b, i, r).unwrap();
+        let (f, b, i, r) = pkt(&mut arena, 0, 2, 4030);
+        l.enqueue(Nanos::ZERO, f, b, i, r);
         l.set_down();
         assert!(!l.is_up());
         // The in-flight packet still departs, but nothing new starts.
         assert!(l.on_depart(d1.at).is_none());
         // New arrivals queue silently while down.
-        let (f, b, r) = pkt(&mut arena, 0, 3, 4030);
-        assert!(l.enqueue(Nanos::from_micros(1), f, b, r).is_none());
+        let (f, b, i, r) = pkt(&mut arena, 0, 3, 4030);
+        assert!(l.enqueue(Nanos::from_micros(1), f, b, i, r).is_none());
         assert_eq!(l.backlog_bytes(), 2 * 4096);
         // Kick at link-up: service resumes with the head-of-line packet.
         let d2 = l.kick(Nanos::from_micros(5)).expect("resumes");
@@ -337,19 +363,19 @@ mod tests {
         assert!(l.kick(Nanos::from_micros(1)).is_none());
         assert!(l.is_up());
         // Normal service afterwards.
-        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
-        assert!(l.enqueue(Nanos::from_micros(2), f, b, r).is_some());
+        let (f, b, i, r) = pkt(&mut arena, 0, 1, 4030);
+        assert!(l.enqueue(Nanos::from_micros(2), f, b, i, r).is_some());
     }
 
     #[test]
     fn rate_change_applies_to_next_service() {
         let mut arena = PacketArena::new();
         let mut l = link();
-        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
-        let d1 = l.enqueue(Nanos::ZERO, f, b, r).unwrap();
+        let (f, b, i, r) = pkt(&mut arena, 0, 1, 4030);
+        let d1 = l.enqueue(Nanos::ZERO, f, b, i, r).unwrap();
         assert_eq!(d1.at, Nanos::from_nanos(328));
-        let (f, b, r) = pkt(&mut arena, 0, 2, 4030);
-        l.enqueue(Nanos::ZERO, f, b, r);
+        let (f, b, i, r) = pkt(&mut arena, 0, 2, 4030);
+        l.enqueue(Nanos::ZERO, f, b, i, r);
         // Halve the rate: the in-flight packet keeps its departure, the
         // next one serializes in twice the time.
         l.set_rate(Rate::gbps(50.0));
@@ -367,8 +393,8 @@ mod tests {
         let mut first = None;
         for i in 0..10u64 {
             for fl in 0..3u32 {
-                let (f, b, r) = pkt(&mut arena, fl, u64::from(fl) * 100 + i, 4030);
-                let d = l.enqueue(Nanos::ZERO, f, b, r);
+                let (f, b, i, r) = pkt(&mut arena, fl, u64::from(fl) * 100 + i, 4030);
+                let d = l.enqueue(Nanos::ZERO, f, b, i, r);
                 if d.is_some() {
                     first = d;
                 }
@@ -399,13 +425,13 @@ mod tests {
         let mut batch = Vec::new();
         let mut first_single = None;
         for i in 1..=5u64 {
-            let (f, b, r) = pkt(&mut arena, 0, i, 4030);
-            let d = single.enqueue(Nanos::ZERO, f, b, r);
+            let (f, b, i, r) = pkt(&mut arena, 0, i, 4030);
+            let d = single.enqueue(Nanos::ZERO, f, b, i, r);
             if d.is_some() {
                 first_single = d;
             }
-            let (_, b2, r2) = pkt(&mut arena, 0, i, 4030);
-            batch.push((r2, b2));
+            let (_, b2, i2, r2) = pkt(&mut arena, 0, i, 4030);
+            batch.push((r2, b2, i2));
         }
         let first_burst = burst.enqueue_burst(Nanos::ZERO, FlowId(0), &mut batch);
         assert!(batch.is_empty(), "burst drains its input");
@@ -434,15 +460,40 @@ mod tests {
     }
 
     #[test]
+    fn flowscope_stamps_tx_stages() {
+        use hostcc_flowscope::FlowScope;
+        let mut arena = PacketArena::new();
+        let mut l = link();
+        let fs = FlowscopeHandle::new(FlowScope::new());
+        l.set_flowscope(fs.clone());
+        // Two packets: #1 serves immediately, #2 waits one service time.
+        fs.packet_sent(1, 0, Nanos::ZERO);
+        fs.packet_sent(2, 0, Nanos::ZERO);
+        let (f, b, i, r) = pkt(&mut arena, 0, 1, 4030);
+        let d1 = l.enqueue(Nanos::ZERO, f, b, i, r).unwrap();
+        let (f, b, i, r) = pkt(&mut arena, 0, 2, 4030);
+        assert!(l.enqueue(Nanos::ZERO, f, b, i, r).is_none());
+        let d2 = l.on_depart(d1.at).unwrap();
+        fs.delivered(1, 4030, d1.at);
+        fs.delivered(2, 4030, d2.at);
+        let res = fs.result(d2.at).unwrap();
+        // #1: zero fq queueing, 328 ns serialize; #2: 328 ns of each.
+        assert_eq!(res.summary.stage_total_ns[Stage::FqQueue as usize], 328);
+        assert_eq!(res.summary.stage_total_ns[Stage::Serialize as usize], 656);
+        assert_eq!(res.summary.conservation_failures, 0);
+        assert!(res.conservation_holds());
+    }
+
+    #[test]
     fn burst_on_busy_link_returns_none() {
         let mut arena = PacketArena::new();
         let mut l = link();
-        let (f, b, r) = pkt(&mut arena, 0, 1, 4030);
-        l.enqueue(Nanos::ZERO, f, b, r).unwrap();
+        let (f, b, i, r) = pkt(&mut arena, 0, 1, 4030);
+        l.enqueue(Nanos::ZERO, f, b, i, r).unwrap();
         let mut batch = Vec::new();
         for i in 2..=3u64 {
-            let (_, b2, r2) = pkt(&mut arena, 0, i, 4030);
-            batch.push((r2, b2));
+            let (_, b2, i2, r2) = pkt(&mut arena, 0, i, 4030);
+            batch.push((r2, b2, i2));
         }
         assert!(l
             .enqueue_burst(Nanos::ZERO, FlowId(0), &mut batch)

@@ -27,7 +27,7 @@ proptest! {
         for (i, &(flow, len)) in pkts.iter().enumerate() {
             let p = pkt(flow, i as u64, len);
             let bytes = p.wire_bytes();
-            if let Some(d) = l.enqueue(Nanos::ZERO, p.flow, bytes, arena.insert(p)) {
+            if let Some(d) = l.enqueue(Nanos::ZERO, p.flow, bytes, p.id, arena.insert(p)) {
                 prop_assert!(pending.is_none(), "two in service at once");
                 pending = Some(d);
             }
@@ -65,7 +65,7 @@ proptest! {
             for f in 0..2u32 {
                 let p = pkt(f, (f as u64) << 32 | i as u64, 1500);
                 let bytes = p.wire_bytes();
-                if let Some(d) = l.enqueue(Nanos::ZERO, p.flow, bytes, arena.insert(p)) {
+                if let Some(d) = l.enqueue(Nanos::ZERO, p.flow, bytes, p.id, arena.insert(p)) {
                     pending = Some(d);
                 }
             }
@@ -97,11 +97,12 @@ proptest! {
         for (i, &len) in lens.iter().enumerate() {
             let p = pkt(flow, i as u64, len);
             let bytes = p.wire_bytes();
-            if let Some(d) = single.enqueue(Nanos::ZERO, p.flow, bytes, arena.insert(p)) {
+            if let Some(d) = single.enqueue(Nanos::ZERO, p.flow, bytes, p.id, arena.insert(p)) {
                 d_single = Some(d);
             }
             let p2 = pkt(flow, i as u64, len);
-            batch.push((arena.insert(p2), bytes));
+            let id2 = p2.id;
+            batch.push((arena.insert(p2), bytes, id2));
         }
         let mut d_burst = burst.enqueue_burst(Nanos::ZERO, FlowId(flow), &mut batch);
         prop_assert_eq!(single.backlog_bytes(), burst.backlog_bytes());

@@ -1,0 +1,188 @@
+//! Per-flow ledger and packet-lifecycle latency attribution.
+//!
+//! The paper's central claim is that congestion at the *host* (IIO/DDIO,
+//! memory bandwidth, PCIe credits) inflates tail latency in ways
+//! fabric-level metrics cannot see. This crate is the instrument that makes
+//! the claim measurable inside the simulation: every data packet is stamped
+//! at each stage boundary of its life — fabric queueing, link
+//! serialization, switch residency, NIC SRAM, PCIe streaming, IIO/DMA,
+//! stack delivery — and the residencies fold into per-stage histograms plus
+//! an end-to-end latency ledger whose stage sums are conservation-checked
+//! (exactly, in integer nanoseconds) against the measured end-to-end delay.
+//!
+//! Alongside the packet recorder runs a **flow ledger** keyed by flow id:
+//! delivered bytes and goodput timelines, ECN marks (host echo vs switch),
+//! retransmits, congestion-window samples, flow completion time, and the
+//! derived Jain's fairness index plus a convergence-time detector.
+//!
+//! The whole pipeline hangs off a [`FlowscopeHandle`] that mirrors the
+//! repo's `TraceHandle`/`PerfHandle` discipline: a disabled handle is a
+//! `None` — every instrumentation call is one discriminant test, no
+//! allocation, and a recorder-enabled run is bit-identical to a disabled
+//! one (the recorder only ever *reads* model state).
+
+#![forbid(unsafe_code)]
+
+mod report;
+mod scope;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hostcc_sim::Nanos;
+
+pub use report::{FlowTableRow, FlowscopeResult, FlowscopeSummary};
+pub use scope::{FlowScope, Stage, STAGE_COUNT};
+
+/// Shared, cloneable access to one [`FlowScope`] — or a no-op.
+///
+/// Clones of one enabled handle all point at the same recorder, so the
+/// fabric link, the receiver host, every transport flow and the ECN echo
+/// stamp into a single ledger. The simulation is single-threaded, so this
+/// is `Rc<RefCell<…>>`, not a lock.
+#[derive(Clone, Default)]
+pub struct FlowscopeHandle(Option<Rc<RefCell<FlowScope>>>);
+
+impl std::fmt::Debug for FlowscopeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("FlowscopeHandle")
+            .field(&if self.0.is_some() {
+                "enabled"
+            } else {
+                "disabled"
+            })
+            .finish()
+    }
+}
+
+impl FlowscopeHandle {
+    /// A handle that records into `scope`.
+    pub fn new(scope: FlowScope) -> Self {
+        FlowscopeHandle(Some(Rc::new(RefCell::new(scope))))
+    }
+
+    /// The no-op handle: every method below is a single `Option` test.
+    pub fn disabled() -> Self {
+        FlowscopeHandle(None)
+    }
+
+    /// Whether a recorder is attached.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Run `f` against the recorder, if enabled.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(&FlowScope) -> R) -> Option<R> {
+        self.0.as_ref().map(|s| f(&s.borrow()))
+    }
+
+    /// Run `f` against the recorder mutably, if enabled.
+    #[inline]
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut FlowScope) -> R) -> Option<R> {
+        self.0.as_ref().map(|s| f(&mut s.borrow_mut()))
+    }
+
+    /// Declare a flow before the run starts (greedy = NetApp-T bulk flow;
+    /// non-greedy flows are excluded from fairness/convergence scoring).
+    #[inline]
+    pub fn register_flow(&self, flow: u32, greedy: bool) {
+        if let Some(s) = &self.0 {
+            s.borrow_mut().register_flow(flow, greedy);
+        }
+    }
+
+    /// A data packet left the sender's transport (opens its life record;
+    /// `at` is the packet's `sent_at`).
+    #[inline]
+    pub fn packet_sent(&self, id: u64, flow: u32, at: Nanos) {
+        if let Some(s) = &self.0 {
+            s.borrow_mut().packet_sent(id, flow, at);
+        }
+    }
+
+    /// The packet crossed the boundary that *closes* `stage` at `at`.
+    #[inline]
+    pub fn boundary(&self, id: u64, stage: Stage, at: Nanos) {
+        if let Some(s) = &self.0 {
+            s.borrow_mut().boundary(id, stage, at);
+        }
+    }
+
+    /// The packet was lost; its life record is retired unfinished.
+    #[inline]
+    pub fn packet_dropped(&self, id: u64, at: Nanos) {
+        if let Some(s) = &self.0 {
+            s.borrow_mut().packet_dropped(id, at);
+        }
+    }
+
+    /// The packet cleared the receive stack at `at` (closes [`Stage::Stack`],
+    /// folds the whole lifetime into the ledgers, conservation-checks the
+    /// stage sums against the measured end-to-end delay).
+    #[inline]
+    pub fn delivered(&self, id: u64, payload_bytes: u64, at: Nanos) {
+        if let Some(s) = &self.0 {
+            s.borrow_mut().delivered(id, payload_bytes, at);
+        }
+    }
+
+    /// A delivered data packet carried a CE mark (`host` = receiver echo,
+    /// otherwise the switch AQM).
+    #[inline]
+    pub fn ecn_mark(&self, flow: u32, host: bool) {
+        if let Some(s) = &self.0 {
+            s.borrow_mut().ecn_mark(flow, host);
+        }
+    }
+
+    /// The flow's transport emitted a retransmission.
+    #[inline]
+    pub fn retransmit(&self, flow: u32) {
+        if let Some(s) = &self.0 {
+            s.borrow_mut().retransmit(flow);
+        }
+    }
+
+    /// The flow's congestion window changed.
+    #[inline]
+    pub fn cwnd_sample(&self, flow: u32, at: Nanos, cwnd_bytes: u64) {
+        if let Some(s) = &self.0 {
+            s.borrow_mut().cwnd_sample(flow, at, cwnd_bytes);
+        }
+    }
+
+    /// Freeze the recorder into a result (None when disabled). `now` is the
+    /// end of the measurement window.
+    pub fn result(&self, now: Nanos) -> Option<FlowscopeResult> {
+        self.0.as_ref().map(|s| s.borrow().freeze(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = FlowscopeHandle::disabled();
+        assert!(!h.is_enabled());
+        h.packet_sent(1, 0, Nanos::ZERO);
+        h.boundary(1, Stage::FqQueue, Nanos::from_nanos(5));
+        h.delivered(1, 100, Nanos::from_nanos(10));
+        assert!(h.result(Nanos::from_nanos(10)).is_none());
+        assert!(h.with(|_| ()).is_none());
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let h = FlowscopeHandle::new(FlowScope::new());
+        let h2 = h.clone();
+        h.register_flow(0, true);
+        h.packet_sent(1, 0, Nanos::ZERO);
+        h2.delivered(1, 100, Nanos::from_nanos(10));
+        let r = h.result(Nanos::from_nanos(10)).unwrap();
+        assert_eq!(r.summary.completed, 1);
+    }
+}

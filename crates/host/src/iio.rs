@@ -118,6 +118,7 @@ fn sp(pkt: Packet, end_offset: f64) -> StreamedPacket {
         pkt,
         end_offset,
         enqueued_at: hostcc_sim::Nanos::ZERO,
+        dma_started_at: hostcc_sim::Nanos::ZERO,
     }
 }
 

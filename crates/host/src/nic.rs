@@ -25,6 +25,9 @@ pub struct StreamedPacket {
     /// When the packet was enqueued in the NIC buffer (for queueing-delay
     /// diagnostics).
     pub enqueued_at: Nanos,
+    /// When the packet's DMA was initiated — the instant it left the NIC
+    /// SRAM (the flowscope `NicRing` stage boundary).
+    pub dma_started_at: Nanos,
 }
 
 #[derive(Debug, Clone)]
@@ -34,6 +37,7 @@ struct NicEntry {
     progress: f64,
     started: bool,
     enqueued_at: Nanos,
+    started_at: Nanos,
 }
 
 /// The NIC receive queue.
@@ -91,6 +95,7 @@ impl NicRxQueue {
             progress: 0.0,
             started: false,
             enqueued_at: now,
+            started_at: now,
         });
         true
     }
@@ -101,16 +106,22 @@ impl NicRxQueue {
     /// Convenience wrapper over [`NicRxQueue::stream_into`] that allocates
     /// the completion list; the per-tick hot path passes a reused buffer
     /// to `stream_into` instead.
-    pub fn stream(&mut self, budget: f64) -> (f64, Vec<StreamedPacket>) {
+    pub fn stream(&mut self, budget: f64, now: Nanos) -> (f64, Vec<StreamedPacket>) {
         let mut completed = Vec::new();
-        let streamed = self.stream_into(budget, &mut completed);
+        let streamed = self.stream_into(budget, now, &mut completed);
         (streamed, completed)
     }
 
     /// Allocation-free core of [`NicRxQueue::stream`]: completions are
     /// appended to `completed` (not cleared first) and the bytes streamed
-    /// are returned.
-    pub fn stream_into(&mut self, mut budget: f64, completed: &mut Vec<StreamedPacket>) -> f64 {
+    /// are returned. `now` timestamps DMA initiation for packets whose
+    /// streaming starts in this call.
+    pub fn stream_into(
+        &mut self,
+        mut budget: f64,
+        now: Nanos,
+        completed: &mut Vec<StreamedPacket>,
+    ) -> f64 {
         let mut streamed = 0.0;
         while budget > 1e-9 {
             let Some(head) = self.queue.front_mut() else {
@@ -118,6 +129,7 @@ impl NicRxQueue {
             };
             if !head.started {
                 head.started = true;
+                head.started_at = now;
                 // DMA initiated: the packet leaves the NIC SRAM now.
                 self.used_bytes -= head.pkt.wire_bytes();
             }
@@ -133,6 +145,7 @@ impl NicRxQueue {
                     pkt: e.pkt,
                     end_offset: self.cum_streamed,
                     enqueued_at: e.enqueued_at,
+                    dma_started_at: e.started_at,
                 });
             }
         }
@@ -205,7 +218,7 @@ mod tests {
         q.offer(pkt(1, 4030), 4220, Nanos::ZERO);
         assert_eq!(q.backlog_bytes(), 8192);
         // Stream one byte of the head: its whole wire size is released.
-        q.stream(1.0);
+        q.stream(1.0, Nanos::ZERO);
         assert_eq!(q.backlog_bytes(), 4096);
         // Now a third packet fits even though the head is still streaming.
         assert!(q.offer(pkt(2, 4030), 4220, Nanos::ZERO));
@@ -216,12 +229,12 @@ mod tests {
         let mut q = NicRxQueue::new(100_000);
         q.offer(pkt(0, 1000), 1100, Nanos::ZERO);
         q.offer(pkt(1, 1000), 1100, Nanos::ZERO);
-        let (s, done) = q.stream(1100.0);
+        let (s, done) = q.stream(1100.0, Nanos::ZERO);
         assert!((s - 1100.0).abs() < 1e-9);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].pkt.id, 0);
         assert!((done[0].end_offset - 1100.0).abs() < 1e-9);
-        let (s2, done2) = q.stream(2000.0);
+        let (s2, done2) = q.stream(2000.0, Nanos::ZERO);
         assert!((s2 - 1100.0).abs() < 1e-9);
         assert_eq!(done2[0].pkt.id, 1);
         assert!((done2[0].end_offset - 2200.0).abs() < 1e-9);
@@ -231,10 +244,10 @@ mod tests {
     fn partial_stream_across_calls() {
         let mut q = NicRxQueue::new(100_000);
         q.offer(pkt(0, 4030), 4220, Nanos::ZERO);
-        let (s1, d1) = q.stream(1000.0);
+        let (s1, d1) = q.stream(1000.0, Nanos::ZERO);
         assert!((s1 - 1000.0).abs() < 1e-9);
         assert!(d1.is_empty());
-        let (s2, d2) = q.stream(1e9);
+        let (s2, d2) = q.stream(1e9, Nanos::ZERO);
         assert!((s2 - 3220.0).abs() < 1e-9);
         assert_eq!(d2.len(), 1);
     }
@@ -242,7 +255,7 @@ mod tests {
     #[test]
     fn empty_queue_streams_nothing() {
         let mut q = NicRxQueue::new(1000);
-        let (s, done) = q.stream(1e9);
+        let (s, done) = q.stream(1e9, Nanos::ZERO);
         assert_eq!(s, 0.0);
         assert!(done.is_empty());
         assert!(q.is_empty());
@@ -253,7 +266,7 @@ mod tests {
         let mut q = NicRxQueue::new(100_000);
         q.offer(pkt(0, 4030), 4220, Nanos::ZERO);
         assert_eq!(q.peak_used_bytes, 4096);
-        q.stream(1e9);
+        q.stream(1e9, Nanos::ZERO);
         q.reset_window();
         assert_eq!(q.arrivals, 0);
         assert_eq!(q.peak_used_bytes, 0);

@@ -14,6 +14,7 @@
 //! any other beyond its direct neighbour.
 
 use hostcc_fabric::Packet;
+use hostcc_flowscope::{FlowscopeHandle, Stage};
 use hostcc_sim::{Nanos, Rate};
 use hostcc_trace::{DropLocus, TraceEvent, TraceHandle};
 
@@ -116,6 +117,10 @@ pub struct RxHost {
     delivered_packets_total: u64,
     last_tick_at: Nanos,
     trace: TraceHandle,
+    /// Lifecycle recorder (disabled by default): stamps the receive-side
+    /// stage boundaries (`PropToHost`, `NicRing`, `PcieStream`, `IioDma`)
+    /// and retires NIC tail-drops.
+    flowscope: FlowscopeHandle,
     /// Reused per-tick buffers (see [`RxHost::tick_into`]): admitted
     /// packets awaiting delivery accounting, and DMA completions awaiting
     /// IIO registration. Cleared and refilled every tick, never freed.
@@ -151,6 +156,7 @@ impl RxHost {
             delivered_packets_total: 0,
             last_tick_at: Nanos::ZERO,
             trace: TraceHandle::disabled(),
+            flowscope: FlowscopeHandle::disabled(),
             scratch_admitted: Vec::new(),
             scratch_completed: Vec::new(),
             stalled_since: None,
@@ -171,13 +177,22 @@ impl RxHost {
         self.trace = trace;
     }
 
+    /// Attach a packet-lifecycle recorder to the receive datapath.
+    pub fn set_flowscope(&mut self, handle: FlowscopeHandle) {
+        self.flowscope = handle;
+    }
+
     /// A packet's last bit arrived at the NIC. Returns `false` when the
     /// NIC buffer tail-drops it.
     pub fn on_wire_arrival(&mut self, pkt: Packet, now: Nanos) -> bool {
         let flow = pkt.flow.0;
+        let id = pkt.id;
         let dma = (pkt.wire_bytes() as f64 * self.cfg.pcie_overhead).ceil() as u64;
         let accepted = self.nic.offer(pkt, dma, now);
-        if !accepted {
+        if accepted {
+            self.flowscope.boundary(id, Stage::PropToHost, now);
+        } else {
+            self.flowscope.packet_dropped(id, now);
             self.trace.emit(now, || TraceEvent::PacketDrop {
                 flow,
                 locus: DropLocus::Nic,
@@ -279,12 +294,14 @@ impl RxHost {
         // 6. Deliver packets: payload enters the copy backlog.
         let cfg = &self.cfg;
         let copy = &mut self.copy;
+        let fs = &self.flowscope;
         for spkt in self.scratch_admitted.drain(..) {
             let payload = spkt.pkt.payload_bytes();
             copy.push(cfg, payload as f64);
             self.delivered_payload_bytes += payload;
             self.delivered_packets += 1;
             self.delivered_packets_total += 1;
+            fs.boundary(spkt.pkt.id, Stage::IioDma, now);
             out.delivered.push(Delivered {
                 pkt: spkt.pkt,
                 nic_at: spkt.enqueued_at,
@@ -315,8 +332,19 @@ impl RxHost {
         let wire_budget = pcie_rate.bytes_in(dt);
         let budget = credits_free.min(wire_budget);
         self.scratch_completed.clear();
-        let streamed = self.nic.stream_into(budget, &mut self.scratch_completed);
+        let streamed = self
+            .nic
+            .stream_into(budget, now, &mut self.scratch_completed);
         self.wire.push(now + self.cfg.l_p, streamed);
+        if self.flowscope.is_enabled() {
+            for sp in &self.scratch_completed {
+                // NicRing closed at DMA initiation (a past tick), PcieStream
+                // at this tick — per-packet timestamps stay monotone.
+                self.flowscope
+                    .boundary(sp.pkt.id, Stage::NicRing, sp.dma_started_at);
+                self.flowscope.boundary(sp.pkt.id, Stage::PcieStream, now);
+            }
+        }
         for sp in self.scratch_completed.drain(..) {
             self.iio.register(sp);
         }

@@ -19,7 +19,8 @@ pub struct TraceRecord {
 }
 
 /// Which event kinds are recorded. Parsed from the `--trace-filter`
-/// vocabulary of category names (see [`TraceKind::category`]).
+/// vocabulary of category names (see [`TraceKind::category`]) and event
+/// kind-name prefixes (see [`TraceKind::name`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceFilter {
     mask: u32,
@@ -54,9 +55,12 @@ impl TraceFilter {
         self
     }
 
-    /// Parse a comma-separated category list (`"pcie,mba,cc"`); `"all"`
-    /// (or an empty string) selects everything. Unknown names are errors —
-    /// a silently-ignored typo would masquerade as "no events of that kind".
+    /// Parse a comma-separated selector list; `"all"` (or an empty string)
+    /// selects everything. Each part is either a category name
+    /// (`"pcie,mba,cc"`) or a prefix of an event kind name
+    /// (`"pcie_credit"`, `"mba_level_request"`). A part that selects zero
+    /// kinds is an error that lists the whole vocabulary — a
+    /// silently-ignored typo would masquerade as "no events of that kind".
     pub fn parse(spec: &str) -> Result<Self, String> {
         let spec = spec.trim();
         if spec.is_empty() || spec == "all" {
@@ -65,13 +69,24 @@ impl TraceFilter {
         let mut f = Self::none();
         for part in spec.split(',') {
             let part = part.trim();
-            if !TraceKind::categories().contains(&part) {
+            let mask = if part.is_empty() {
+                0 // "pcie,,cc": an empty prefix would select everything.
+            } else if TraceKind::categories().contains(&part) {
+                Self::none().with_category(part).mask
+            } else {
+                TraceKind::ALL
+                    .iter()
+                    .filter(|k| k.name().starts_with(part))
+                    .fold(0, |m, &k| m | 1 << k as u32)
+            };
+            if mask == 0 {
                 return Err(format!(
-                    "unknown trace category '{part}' (known: {})",
-                    TraceKind::categories().join(", ")
+                    "'{part}' selects no trace kinds (categories: {}; kinds: {})",
+                    TraceKind::categories().join(", "),
+                    TraceKind::ALL.map(TraceKind::name).join(", ")
                 ));
             }
-            f = f.with_category(part);
+            f.mask |= mask;
         }
         Ok(f)
     }
@@ -326,6 +341,66 @@ mod tests {
         assert!(TraceFilter::parse("pcie,bogus").is_err());
         assert_eq!(TraceFilter::parse("all").unwrap(), TraceFilter::all());
         assert_eq!(TraceFilter::parse("").unwrap(), TraceFilter::all());
+    }
+
+    #[test]
+    fn filter_parse_accepts_kind_name_prefixes() {
+        // A prefix narrower than a category selects just the kinds under it.
+        let f = TraceFilter::parse("pcie_credit").unwrap();
+        assert!(f.wants(TraceKind::PcieStall) && f.wants(TraceKind::PcieGrant));
+        assert!(!f.wants(TraceKind::IioOccupancy));
+        let one = TraceFilter::parse("mba_level_request").unwrap();
+        assert!(one.wants(TraceKind::MbaRequest) && !one.wants(TraceKind::MbaEffective));
+        // Duplicate parts are idempotent, not errors.
+        assert_eq!(
+            TraceFilter::parse("pcie,pcie").unwrap(),
+            TraceFilter::parse("pcie").unwrap()
+        );
+    }
+
+    #[test]
+    fn filter_parse_rejects_zero_match_prefixes_with_vocabulary() {
+        // A prefix that matches zero kinds must not silently select nothing.
+        for bad in ["pcie_credit_stalls", "drop_", "pcie,,cc"] {
+            let err = TraceFilter::parse(bad).unwrap_err();
+            assert!(err.contains("selects no trace kinds"), "{bad}: {err}");
+            assert!(err.contains("categories: "), "{bad}: {err}");
+            assert!(err.contains("kinds: "), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn filter_vocabulary_is_pinned() {
+        // The `--trace-filter` vocabulary is part of the CLI contract:
+        // renaming a category or kind is a breaking change, so pin both.
+        assert_eq!(
+            TraceKind::categories(),
+            &["nic", "pcie", "iio", "ddio", "mba", "signal", "cc", "ecn", "drop", "chaos"]
+        );
+        assert_eq!(
+            TraceKind::ALL.map(TraceKind::name),
+            [
+                "pcie_credit_stall",
+                "pcie_credit_grant",
+                "iio_occupancy_cl",
+                "ddio_eviction_fraction",
+                "mba_level_request",
+                "mba_level_effective",
+                "signal_sample",
+                "hostcc_regime",
+                "ecn_mark",
+                "packet_drop",
+                "cc_cwnd",
+                "nic_backlog_bytes",
+                "chaos_inject",
+            ]
+        );
+        // Every name must remain resolvable through parse, exactly one kind
+        // each — so the error message's vocabulary is always accurate.
+        for k in TraceKind::ALL {
+            let f = TraceFilter::parse(k.name()).unwrap();
+            assert!(f.wants(k), "{}", k.name());
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use hostcc_fabric::{FlowId, Packet};
+use hostcc_flowscope::FlowscopeHandle;
 use hostcc_sim::Nanos;
 use hostcc_trace::{TraceEvent, TraceHandle};
 
@@ -129,6 +130,7 @@ pub struct Flow {
     /// Public stats for tables.
     pub stats: FlowStats,
     trace: TraceHandle,
+    flowscope: FlowscopeHandle,
 }
 
 impl Flow {
@@ -162,6 +164,7 @@ impl Flow {
             packet_id: (u64::from(id.0)) << 40,
             stats: FlowStats::default(),
             trace: TraceHandle::disabled(),
+            flowscope: FlowscopeHandle::disabled(),
             cfg,
         }
     }
@@ -169,6 +172,11 @@ impl Flow {
     /// Attach a trace handle (congestion-window-change events).
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Attach a flow-ledger recorder (cwnd samples, retransmit counts).
+    pub fn set_flowscope(&mut self, handle: FlowscopeHandle) {
+        self.flowscope = handle;
     }
 
     /// Emit a `CcUpdate` if the congestion window moved across a call.
@@ -180,6 +188,7 @@ impl Flow {
                 flow: self.id.0,
                 cwnd_bytes: cwnd,
             });
+            self.flowscope.cwnd_sample(self.id.0, now, cwnd);
         }
     }
 
@@ -326,6 +335,7 @@ impl Flow {
         self.stats.sent += 1;
         if retransmit {
             self.stats.retransmits += 1;
+            self.flowscope.retransmit(self.id.0);
             if let Some(seg) = self.segs.iter_mut().find(|s| s.seq == seq) {
                 seg.retransmitted = true;
                 seg.sent_at = now;
