@@ -6,7 +6,7 @@
 //! A timeline spec is a `;`-separated list of events. Each event is
 //!
 //! ```text
-//! <kind>@<start>[+<duration>][:<param>]...
+//! <kind>[@link:<name>]@<start>[+<duration>][:<param>]...
 //! ```
 //!
 //! where `<start>` and `<duration>` are durations (`700ns`, `500us`,
@@ -15,6 +15,12 @@
 //! duration (sets the event duration — `degrade@5ms:50%:1ms` and
 //! `degrade@5ms:50%+1ms` are equivalent). Omitted fields fall back to the
 //! kind's defaults.
+//!
+//! Link faults (`flap`, `degrade`, `pause`, `burstloss`) optionally name
+//! the link they act on: `flap@link:spine0-leaf2@2ms+500us`. On a
+//! single-link scenario the target may be omitted (there is nothing to
+//! disambiguate); a multi-link topology rejects untargeted link faults —
+//! see [`ChaosTimeline::validate_targets`].
 
 use hostcc_sim::Nanos;
 
@@ -113,6 +119,18 @@ impl ChaosKind {
         }
     }
 
+    /// True for kinds that act on a physical link and hence accept (and,
+    /// on multi-link topologies, require) a `link:<name>` target.
+    pub fn is_link_fault(self) -> bool {
+        matches!(
+            self,
+            ChaosKind::LinkFlap
+                | ChaosKind::LinkDegrade
+                | ChaosKind::PauseStorm
+                | ChaosKind::BurstLoss
+        )
+    }
+
     /// Invariants (by watchdog name) this fault may *legitimately* bend
     /// while its window is open. Violations inside such windows are
     /// annotated in the [`crate::ResilienceReport`] rather than treated as
@@ -146,12 +164,15 @@ impl ChaosKind {
     }
 }
 
-/// One scheduled fault: a kind, a start time, a window, and a
-/// kind-specific magnitude.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One scheduled fault: a kind, an optional link target, a start time, a
+/// window, and a kind-specific magnitude.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChaosEvent {
     /// What to inject.
     pub kind: ChaosKind,
+    /// The link this fault acts on (`flap@link:spine0-leaf2@…`). `None`
+    /// on single-link scenarios, where the fault targets the one link.
+    pub target: Option<String>,
     /// When the fault window opens (absolute simulated time).
     pub start: Nanos,
     /// How long the window stays open.
@@ -168,10 +189,16 @@ impl ChaosEvent {
 
     /// The canonical spec encoding of this event — a pure function of the
     /// parsed content (magnitude is encoded by its bit pattern), used both
-    /// for round-tripping and as the per-event RNG derivation key.
+    /// for round-tripping and as the per-event RNG derivation key. An
+    /// untargeted event keeps its historic encoding, so adding the target
+    /// grammar never re-seeds existing timelines.
     pub fn canonical(&self) -> String {
+        let target = match &self.target {
+            Some(t) => format!("@link:{t}"),
+            None => String::new(),
+        };
         format!(
-            "{}@{}ns+{}ns:{:016x}",
+            "{}{target}@{}ns+{}ns:{:016x}",
             self.kind.name(),
             self.start.as_nanos(),
             self.duration.as_nanos(),
@@ -212,6 +239,24 @@ fn parse_event(spec: &str) -> Result<ChaosEvent, String> {
             ChaosKind::ALL.map(ChaosKind::name).join(" ")
         )
     })?;
+    // Optional link target: `<kind>@link:<name>@<start>…`.
+    let (target, rest) = if let Some(t) = rest.strip_prefix("link:") {
+        let (tname, tail) = t
+            .split_once('@')
+            .ok_or_else(|| format!("event '{spec}': 'link:{t}' must be followed by '@<start>'"))?;
+        if tname.is_empty() {
+            return Err(format!("event '{spec}': empty link target"));
+        }
+        if !kind.is_link_fault() {
+            return Err(format!(
+                "event '{spec}': '{}' is not a link fault and takes no link target",
+                kind.name()
+            ));
+        }
+        (Some(tname.to_string()), tail)
+    } else {
+        (None, rest)
+    };
     // Tokenize the tail: the first token is the start time; every later
     // token is introduced by '+' (duration) or ':' (parameter).
     let mut tokens: Vec<(char, String)> = Vec::new();
@@ -256,6 +301,7 @@ fn parse_event(spec: &str) -> Result<ChaosEvent, String> {
         .map_err(|e| format!("event '{spec}': {e}"))?;
     Ok(ChaosEvent {
         kind,
+        target,
         start,
         duration,
         magnitude,
@@ -385,6 +431,50 @@ impl ChaosTimeline {
             .join(";")
     }
 
+    /// Check every link fault against the scenario's addressable links.
+    ///
+    /// `links` is the set of valid target names (empty for the legacy
+    /// single-link scenarios, which have nothing to address). The rules —
+    /// mirroring the `--telemetry-filter` zero-match rejection:
+    ///
+    /// * a named target must exist in `links`;
+    /// * with more than one addressable link, an *untargeted* link fault
+    ///   is ambiguous and rejected — `flap@2ms` must say which link;
+    /// * without any addressable links, targets are rejected (there is
+    ///   only the implicit single link) and untargeted faults pass.
+    pub fn validate_targets(&self, links: &[&str]) -> Result<(), String> {
+        let listing = || {
+            if links.is_empty() {
+                "(none: this scenario has a single implicit link)".to_string()
+            } else {
+                links.join(" ")
+            }
+        };
+        for ev in &self.events {
+            match &ev.target {
+                Some(t) if !links.contains(&t.as_str()) => {
+                    return Err(format!(
+                        "chaos target 'link:{t}' matches no link in this scenario; \
+                         valid targets: {}",
+                        listing()
+                    ));
+                }
+                None if ev.kind.is_link_fault() && links.len() > 1 => {
+                    return Err(format!(
+                        "ambiguous link fault '{}@…': this topology has {} links, so the \
+                         fault must address one ('{}@link:<name>@…'); valid targets: {}",
+                        ev.kind.name(),
+                        links.len(),
+                        ev.kind.name(),
+                        listing()
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Last instant at which any event window is still open.
     pub fn end(&self) -> Nanos {
         self.events
@@ -414,9 +504,87 @@ mod tests {
     #[test]
     fn defaults_fill_omitted_fields() {
         let t = ChaosTimeline::parse("burstloss@3ms").unwrap();
-        let e = t.events[0];
+        let e = &t.events[0];
         assert_eq!(e.duration, ChaosKind::BurstLoss.default_duration());
         assert_eq!(e.magnitude, 0.5);
+        assert_eq!(e.target, None);
+    }
+
+    #[test]
+    fn link_targets_parse_and_round_trip() {
+        let t = ChaosTimeline::parse("flap@link:spine0-leaf2@2ms+500us").unwrap();
+        let e = &t.events[0];
+        assert_eq!(e.kind, ChaosKind::LinkFlap);
+        assert_eq!(e.target.as_deref(), Some("spine0-leaf2"));
+        assert_eq!(e.start, Nanos::from_millis(2));
+        assert_eq!(e.duration, Nanos::from_micros(500));
+        // The target is part of the canonical key (distinct RNG streams,
+        // distinct cell keys) …
+        let untargeted = ChaosTimeline::parse("flap@2ms+500us").unwrap();
+        assert_ne!(t.canonical(), untargeted.canonical());
+        assert!(t.canonical().contains("link:spine0-leaf2"));
+        // … while untargeted events keep their historic encoding.
+        assert!(!untargeted.canonical().contains("link:"));
+        // Targeted degrade with parameters.
+        let d = ChaosTimeline::parse("degrade@link:h0-leaf0@5ms:30%:1ms").unwrap();
+        assert_eq!(d.events[0].target.as_deref(), Some("h0-leaf0"));
+        assert_eq!(d.events[0].magnitude, 0.3);
+    }
+
+    #[test]
+    fn link_targets_are_rejected_on_non_link_kinds() {
+        for (spec, needle) in [
+            ("ddio@link:s0-s1@2ms", "takes no link target"),
+            ("mbastall@link:s0-s1@2ms", "takes no link target"),
+            ("flap@link:@2ms", "empty link target"),
+            ("flap@link:s0-s1", "must be followed by '@<start>'"),
+        ] {
+            let err = ChaosTimeline::parse(spec).unwrap_err();
+            assert!(err.contains(needle), "spec '{spec}': {err}");
+        }
+    }
+
+    #[test]
+    fn target_validation_mirrors_filter_rejection() {
+        let links = ["h0-leaf0", "leaf0-spine0", "spine0-leaf1"];
+        // A named, existing target passes.
+        ChaosTimeline::parse("flap@link:leaf0-spine0@2ms")
+            .unwrap()
+            .validate_targets(&links)
+            .unwrap();
+        // Unknown target: rejected, listing the valid set.
+        let err = ChaosTimeline::parse("flap@link:nope@2ms")
+            .unwrap()
+            .validate_targets(&links)
+            .unwrap_err();
+        assert!(err.contains("matches no link"), "{err}");
+        assert!(err.contains("leaf0-spine0"), "{err}");
+        // Untargeted link fault on a multi-link topology: ambiguous.
+        let err = ChaosTimeline::parse("flap@2ms")
+            .unwrap()
+            .validate_targets(&links)
+            .unwrap_err();
+        assert!(err.contains("ambiguous link fault"), "{err}");
+        assert!(err.contains("flap@link:<name>"), "{err}");
+        // Legacy single-link scenario: untargeted passes, targets do not.
+        ChaosTimeline::parse("flap@2ms")
+            .unwrap()
+            .validate_targets(&[])
+            .unwrap();
+        assert!(ChaosTimeline::parse("flap@link:x@2ms")
+            .unwrap()
+            .validate_targets(&[])
+            .is_err());
+        // Non-link kinds never need a target.
+        ChaosTimeline::parse("mbastall@2ms")
+            .unwrap()
+            .validate_targets(&links)
+            .unwrap();
+        // Exactly one addressable link: nothing to disambiguate.
+        ChaosTimeline::parse("flap@2ms")
+            .unwrap()
+            .validate_targets(&["s0-s1"])
+            .unwrap();
     }
 
     #[test]

@@ -141,6 +141,9 @@ const SCENARIOS: &[(&str, ScenarioFn)] = &[
     ("congested", || Scenario::with_congestion(3.0)),
     ("hostcc", || Scenario::with_congestion(3.0).enable_hostcc()),
     ("incast", || Scenario::incast(8, 3.0).enable_hostcc()),
+    ("fat-tree", || {
+        Scenario::fat_tree_incast(4, 3.0).enable_hostcc()
+    }),
 ];
 
 fn usage() -> ExitCode {
@@ -382,7 +385,10 @@ fn sweep_usage() -> ExitCode {
     for (name, desc) in GridSpec::presets() {
         eprintln!("  {name:<12} {desc}");
     }
-    eprintln!("axes: ddio hostcc bt it level cc degree flows incast mtu ecn_kb drop chaos seed");
+    eprintln!(
+        "axes: ddio hostcc bt it level cc degree flows incast topology racks \
+         hosts_per_rack mtu ecn_kb drop chaos seed"
+    );
     ExitCode::FAILURE
 }
 
@@ -436,8 +442,8 @@ fn sweep_main(args: &[String]) -> ExitCode {
                     println!("  {name:<12} {desc}");
                 }
                 println!(
-                    "axes: ddio hostcc bt it level cc degree flows incast mtu ecn_kb drop \
-                     chaos seed"
+                    "axes: ddio hostcc bt it level cc degree flows incast topology racks \
+                     hosts_per_rack mtu ecn_kb drop chaos seed"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -14,8 +14,9 @@
 //! and cells enumerate in that same order with the first-listed axis
 //! varying slowest — exactly the row order of the paper's tables.
 
+use hostcc_fabric::{TopologyKind, TopologySpec};
 use hostcc_sim::Rate;
-use hostcc_workloads::IncastSpec;
+use hostcc_workloads::{IncastSpec, TrafficPattern};
 
 use crate::scenario::{CcKind, Scenario};
 
@@ -117,6 +118,16 @@ pub struct GridSpec {
     pub flows: Vec<u32>,
     /// Total greedy flows split over two incast senders.
     pub incast: Vec<u32>,
+    /// Fabric topology per cell: `off` (the legacy single switch port) or
+    /// a kind name from [`hostcc_fabric::TopologyKind`] (`dumbbell`,
+    /// `leaf-spine`, `fat-tree`). Attaching a topology reshapes the sender
+    /// set, so this axis conflicts with `flows`/`incast`.
+    pub topology: Vec<String>,
+    /// Rack (leaf) count for leaf–spine cells, `k` for fat-tree cells
+    /// (needs a topology, from this grid's axis or the base scenario).
+    pub racks: Vec<u32>,
+    /// Hosts per rack for leaf–spine/dumbbell cells (needs a topology).
+    pub hosts_per_rack: Vec<u32>,
     /// MTU in bytes.
     pub mtu: Vec<u64>,
     /// Switch ECN marking threshold in KiB (the DCTCP `K` knob).
@@ -164,6 +175,9 @@ impl GridSpec {
             degree: Vec::new(),
             flows: Vec::new(),
             incast: Vec::new(),
+            topology: Vec::new(),
+            racks: Vec::new(),
+            hosts_per_rack: Vec::new(),
             mtu: Vec::new(),
             ecn_kb: Vec::new(),
             drop_chance: Vec::new(),
@@ -207,6 +221,14 @@ impl GridSpec {
             (
                 "chaos",
                 "8 cells: hostcc x chaos timeline (off/flap/brownout/burst-loss) at 3x",
+            ),
+            (
+                "leaf-spine",
+                "4 cells: hostcc x racks on a leaf-spine incast at 3x",
+            ),
+            (
+                "fat-tree-incast",
+                "2 cells: hostcc on/off on a k=4 fat-tree 15:1 incast at 3x",
             ),
         ]
     }
@@ -311,6 +333,17 @@ impl GridSpec {
                     .collect();
                 g
             }
+            "leaf-spine" => {
+                let mut g = GridSpec::new(name, Scenario::leaf_spine_incast(3, 2, 8, 3.0));
+                g.hostcc = vec![false, true];
+                g.racks = vec![2, 3];
+                g
+            }
+            "fat-tree-incast" => {
+                let mut g = GridSpec::new(name, Scenario::fat_tree_incast(4, 3.0));
+                g.hostcc = vec![false, true];
+                g
+            }
             _ => return None,
         };
         g.name = name.to_string();
@@ -358,6 +391,17 @@ impl GridSpec {
             "degree" => split(values, str::parse::<f64>).map(|v| self.degree = v),
             "flows" => split(values, str::parse::<u32>).map(|v| self.flows = v),
             "incast" => split(values, str::parse::<u32>).map(|v| self.incast = v),
+            "topology" => split(values, |v: &str| {
+                if v == "off" || TopologyKind::parse(v).is_some() {
+                    Ok(v.to_string())
+                } else {
+                    let all: Vec<_> = TopologyKind::ALL.iter().map(|k| k.name()).collect();
+                    Err(format!("unknown topology (known: off, {})", all.join(", ")))
+                }
+            })
+            .map(|v| self.topology = v),
+            "racks" => split(values, str::parse::<u32>).map(|v| self.racks = v),
+            "hosts_per_rack" => split(values, str::parse::<u32>).map(|v| self.hosts_per_rack = v),
             "mtu" => split(values, str::parse::<u64>).map(|v| self.mtu = v),
             "ecn_kb" => split(values, str::parse::<u64>).map(|v| self.ecn_kb = v),
             "drop" => split(values, str::parse::<f64>).map(|v| self.drop_chance = v),
@@ -374,7 +418,7 @@ impl GridSpec {
             _ => {
                 return Err(format!(
                     "unknown axis '{axis}' (known: ddio hostcc bt it level cc degree \
-                     flows incast mtu ecn_kb drop chaos seed)"
+                     flows incast topology racks hosts_per_rack mtu ecn_kb drop chaos seed)"
                 ))
             }
         };
@@ -518,6 +562,61 @@ impl GridSpec {
                 .collect(),
         );
         push(
+            "topology",
+            self.topology
+                .iter()
+                .map(|v| {
+                    let v = v.clone();
+                    let label = v.clone();
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        if v == "off" {
+                            s.topology = None;
+                            s.pattern = TrafficPattern::Incast;
+                            return;
+                        }
+                        let kind = TopologyKind::parse(&v).expect("set_axis validated the kind");
+                        let spec = match kind {
+                            TopologyKind::Dumbbell => TopologySpec::dumbbell(s.senders as u32),
+                            TopologyKind::LeafSpine => TopologySpec::leaf_spine(2, 2),
+                            TopologyKind::FatTree => TopologySpec::fat_tree(4),
+                        };
+                        *s = s.clone().with_topology(spec);
+                    });
+                    (label, f)
+                })
+                .collect(),
+        );
+        push(
+            "racks",
+            self.racks
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        if let Some(mut spec) = s.topology {
+                            spec.racks = v;
+                            *s = s.clone().with_topology(spec);
+                        }
+                    });
+                    (v.to_string(), f)
+                })
+                .collect(),
+        );
+        push(
+            "hosts_per_rack",
+            self.hosts_per_rack
+                .iter()
+                .map(|&v| {
+                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| {
+                        if let Some(mut spec) = s.topology {
+                            spec.hosts_per_rack = v;
+                            *s = s.clone().with_topology(spec);
+                        }
+                    });
+                    (v.to_string(), f)
+                })
+                .collect(),
+        );
+        push(
             "mtu",
             self.mtu
                 .iter()
@@ -584,6 +683,19 @@ impl GridSpec {
         if !self.flows.is_empty() && !self.incast.is_empty() {
             return Err("the flows and incast axes are mutually exclusive".into());
         }
+        if !self.topology.is_empty() && (!self.flows.is_empty() || !self.incast.is_empty()) {
+            return Err("the topology axis conflicts with the flows/incast axes \
+                 (both reshape the sender set)"
+                .into());
+        }
+        if (!self.racks.is_empty() || !self.hosts_per_rack.is_empty())
+            && self.topology.is_empty()
+            && self.base.topology.is_none()
+        {
+            return Err(
+                "the racks/hosts_per_rack axes need a topology (axis or base scenario)".into(),
+            );
+        }
         let hostcc_possible = self.base.hostcc.is_some() && !self.hostcc.contains(&false)
             || self.hostcc.contains(&true);
         if !self.mba_level.is_empty() && hostcc_possible {
@@ -623,6 +735,16 @@ impl GridSpec {
                 .map(|(n, v)| format!("{n}={v}"))
                 .collect::<Vec<_>>()
                 .join(" ");
+            // Per-cell structural validation that depends on the resolved
+            // parameter combination — reported as a value (the CLI's
+            // non-zero-exit path), not a panic deep inside a sweep worker.
+            if let Some(t) = &scenario.topology {
+                t.validate()
+                    .map_err(|e| format!("cell '{key}': invalid topology: {e}"))?;
+            }
+            scenario
+                .check_chaos()
+                .map_err(|e| format!("cell '{key}': {e}"))?;
             scenario.seed = derive_cell_seed(scenario.seed, &key);
             cells.push(Cell {
                 index,
@@ -814,6 +936,87 @@ mod tests {
                 "seed derivations diverged for {key:?}"
             );
         }
+    }
+
+    #[test]
+    fn ecmp_path_seeds_share_the_cell_seed_derivation() {
+        // The fabric crate pins its ECMP path-choice derivation to the
+        // same FNV-1a + SplitMix64 scheme as the sweep's per-cell seeds;
+        // lock them together here, at the only crate that sees both.
+        for (seed, key) in [
+            (0u64, "ecmp:fat-tree-4:h0->h15:flow7"),
+            (42, "ddio=off hostcc=on degree=3"),
+            (0xdead_beef, ""),
+        ] {
+            assert_eq!(
+                hostcc_fabric::derive_path_seed(seed, key),
+                derive_cell_seed(seed, key),
+                "seed derivations diverged for {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_axes_reach_the_scenario() {
+        let mut g = GridSpec::new("t", Scenario::with_congestion(3.0));
+        g.set_axis("topology", "off,leaf-spine").unwrap();
+        g.set_axis("racks", "2,3").unwrap();
+        let cells = g.expand().unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].scenario.topology, None);
+        let c = &cells[3];
+        assert_eq!(c.key, "topology=leaf-spine racks=3");
+        let spec = c.scenario.topology.expect("topology attached");
+        assert_eq!(spec.racks, 3);
+        // with_topology reshaped the sender set to match.
+        assert_eq!(c.scenario.senders, spec.sender_count() as usize);
+        // Unknown kinds and misplaced size axes are rejected up front.
+        assert!(g.set_axis("topology", "torus").is_err());
+        let mut lone = GridSpec::new("bad", Scenario::paper_baseline());
+        lone.racks = vec![2];
+        assert!(lone.expand().is_err(), "racks without a topology");
+        let mut both = GridSpec::new("bad", Scenario::paper_baseline());
+        both.topology = vec!["fat-tree".into()];
+        both.incast = vec![8];
+        assert!(both.expand().is_err(), "topology conflicts with incast");
+    }
+
+    #[test]
+    fn chaos_link_targets_are_validated_per_cell() {
+        // An untargeted link fault is ambiguous on a multi-link topology;
+        // expand() must reject it as a value listing the valid targets —
+        // mirroring the CLI's --telemetry-filter zero-match rejection —
+        // instead of panicking inside a sweep worker.
+        let mut g = GridSpec::new("t", Scenario::fat_tree_incast(4, 0.0));
+        g.set_axis("chaos", "flap").unwrap();
+        let err = g.expand().unwrap_err();
+        assert!(err.contains("ambiguous link fault"), "{err}");
+        assert!(err.contains("valid targets"), "{err}");
+
+        g.set_axis("chaos", "flap@link:nope-nope@4500us+400us")
+            .unwrap();
+        let err = g.expand().unwrap_err();
+        assert!(err.contains("matches no link"), "{err}");
+
+        g.set_axis("chaos", "flap@link:p0e0-p0a0@4500us+400us")
+            .unwrap();
+        g.expand().expect("a resolvable target expands fine");
+    }
+
+    #[test]
+    fn topology_presets_expand_to_multi_switch_cells() {
+        let cells = GridSpec::preset("fat-tree-incast")
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(cells.len(), 2);
+        for c in &cells {
+            let spec = c.scenario.topology.expect("fat-tree preset");
+            assert_eq!(spec.build().host_count(), 16, "k=4 fat tree");
+            assert_eq!(c.scenario.senders, 15);
+        }
+        let cells = GridSpec::preset("leaf-spine").unwrap().expand().unwrap();
+        assert_eq!(cells.len(), 4);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //! an experiment, with presets for the paper's setups.
 
 use hostcc_core::HostCcConfig;
-use hostcc_fabric::{FaultConfig, SwitchPortConfig};
+use hostcc_fabric::{FaultConfig, SwitchPortConfig, TopologySpec};
 use hostcc_host::HostConfig;
 use hostcc_sim::{Nanos, Rate};
-use hostcc_workloads::RpcConfig;
+use hostcc_workloads::{RpcConfig, TrafficPattern};
 
 /// Which congestion-control protocol the flows run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +116,14 @@ pub struct Scenario {
     /// Kept as the raw string so grid cell keys — and hence per-cell RNG
     /// seeds — stay purely textual.
     pub chaos: Option<String>,
+    /// Multi-switch fabric (None = the legacy single-switch-port path,
+    /// which stays bit-identical to pre-topology builds). With a
+    /// topology, `senders` must equal the spec's sender count and every
+    /// flow is forwarded hop by hop through per-link `SwitchPort`s.
+    pub topology: Option<TopologySpec>,
+    /// How greedy flows map onto hosts (incast fan-in vs ring collective;
+    /// only [`TrafficPattern::Incast`] is valid without a topology).
+    pub pattern: TrafficPattern,
 }
 
 impl Scenario {
@@ -149,6 +157,8 @@ impl Scenario {
             record: false,
             fault: FaultConfig::none(),
             chaos: None,
+            topology: None,
+            pattern: TrafficPattern::Incast,
         }
     }
 
@@ -196,6 +206,72 @@ impl Scenario {
             mapp_degree,
             ..Self::paper_baseline()
         }
+    }
+
+    /// Balanced split of `total` flows over `n` senders.
+    fn balanced_split(total: u32, n: u32) -> Vec<u32> {
+        let spec = hostcc_workloads::IncastSpec {
+            senders: n,
+            total_flows: total,
+        };
+        (0..n).map(|i| spec.flows_for_sender(i)).collect()
+    }
+
+    /// Run on a multi-switch fabric: `senders` becomes the topology's
+    /// sender-host count and the current greedy-flow total is
+    /// redistributed over them (ring pattern: one flow per sender).
+    pub fn with_topology(mut self, spec: TopologySpec) -> Self {
+        let n = spec.sender_count();
+        self.topology = Some(spec);
+        let total = match self.pattern {
+            TrafficPattern::Incast => self.total_greedy_flows(),
+            TrafficPattern::RingAllReduce => n,
+        };
+        self.senders = n as usize;
+        self.flows_per_sender = Self::balanced_split(total, n);
+        self
+    }
+
+    /// Select the collective traffic pattern (ring resets to one flow per
+    /// sender — each host streams one chunk to its ring successor).
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        if pattern == TrafficPattern::RingAllReduce {
+            self.flows_per_sender = vec![1; self.senders];
+        }
+        self
+    }
+
+    /// Incast across a leaf–spine fabric: `total_flows` spread over all
+    /// `racks × hosts_per_rack − 1` sender hosts, converging on the focus
+    /// receiver in the last rack (3 switch hops from any other rack).
+    pub fn leaf_spine_incast(
+        racks: u32,
+        hosts_per_rack: u32,
+        total_flows: u32,
+        mapp_degree: f64,
+    ) -> Self {
+        let mut s = Self::with_congestion(mapp_degree);
+        s.flows_per_sender = vec![total_flows];
+        s.with_topology(TopologySpec::leaf_spine(racks, hosts_per_rack))
+    }
+
+    /// Incast across a k-ary fat tree: one flow from each of the
+    /// `k³/4 − 1` sender hosts into the focus receiver (k = 4 → 15
+    /// senders, 16 hosts, up to 5 switch hops).
+    pub fn fat_tree_incast(k: u32, mapp_degree: f64) -> Self {
+        let spec = TopologySpec::fat_tree(k);
+        let mut s = Self::with_congestion(mapp_degree);
+        s.flows_per_sender = vec![spec.sender_count()];
+        s.with_topology(spec)
+    }
+
+    /// A ring-all-reduce rotation on a leaf–spine fabric: every host
+    /// streams one chunk to its ring successor.
+    pub fn ring_all_reduce(racks: u32, hosts_per_rack: u32) -> Self {
+        Self::paper_baseline()
+            .with_pattern(TrafficPattern::RingAllReduce)
+            .with_topology(TopologySpec::leaf_spine(racks, hosts_per_rack))
     }
 
     /// Enable the IOMMU with a DMA working set of `footprint_pages` I/O
@@ -248,12 +324,46 @@ impl Scenario {
             self.forced_mba_level.is_none() || self.hostcc.is_none(),
             "a forced MBA level conflicts with an active hostCC controller"
         );
-        if let Some(spec) = &self.chaos {
-            if let Err(e) = hostcc_chaos::ChaosTimeline::resolve(spec) {
-                panic!("invalid chaos spec: {e}");
+        if let Some(topo) = &self.topology {
+            if let Err(e) = topo.validate() {
+                panic!("invalid topology: {e}");
             }
+            assert_eq!(
+                self.senders,
+                topo.sender_count() as usize,
+                "senders must match the topology's sender-host count \
+                 (use Scenario::with_topology)"
+            );
+        } else {
+            assert_eq!(
+                self.pattern,
+                TrafficPattern::Incast,
+                "the {} pattern needs a topology",
+                self.pattern.name()
+            );
+        }
+        if let Err(e) = self.check_chaos() {
+            panic!("{e}");
         }
         self.host.validate();
+    }
+
+    /// Check the chaos spec (syntax plus link-target resolution against
+    /// this scenario's topology), reporting failures as values — the
+    /// graceful surface `GridSpec::expand` and the CLI use, so a bad
+    /// `@link:` target lists the valid names instead of panicking deep in a
+    /// sweep worker.
+    pub fn check_chaos(&self) -> Result<(), String> {
+        let Some(spec) = &self.chaos else {
+            return Ok(());
+        };
+        let t = hostcc_chaos::ChaosTimeline::resolve(spec)
+            .map_err(|e| format!("invalid chaos spec: {e}"))?;
+        // With a topology, link faults must address one of its links.
+        let built = self.topology.as_ref().map(TopologySpec::build);
+        let names = built.as_ref().map(|t| t.link_names()).unwrap_or_default();
+        t.validate_targets(&names)
+            .map_err(|e| format!("invalid chaos spec: {e}"))
     }
 
     /// Approximate base RTT of the scenario (diagnostics).
@@ -278,6 +388,51 @@ mod tests {
         Scenario::paper_baseline()
             .enable_ddio()
             .enable_hostcc()
+            .validate();
+    }
+
+    #[test]
+    fn topology_presets_validate() {
+        Scenario::leaf_spine_incast(3, 2, 8, 3.0).validate();
+        Scenario::fat_tree_incast(4, 0.0).validate();
+        Scenario::ring_all_reduce(3, 2).validate();
+
+        let s = Scenario::fat_tree_incast(4, 0.0);
+        assert_eq!(s.senders, 15, "k=4 fat tree has 15 sender hosts");
+        assert_eq!(s.total_greedy_flows(), 15, "one flow per sender");
+
+        let s = Scenario::leaf_spine_incast(3, 2, 8, 3.0);
+        assert_eq!(s.senders, 5);
+        assert_eq!(s.total_greedy_flows(), 8);
+
+        let s = Scenario::ring_all_reduce(3, 2);
+        assert_eq!(s.pattern, TrafficPattern::RingAllReduce);
+        assert_eq!(s.flows_per_sender, vec![1; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a topology")]
+    fn ring_without_topology_rejected() {
+        Scenario::paper_baseline()
+            .with_pattern(TrafficPattern::RingAllReduce)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "ambiguous link fault")]
+    fn untargeted_link_fault_on_topology_rejected() {
+        Scenario::leaf_spine_incast(3, 2, 8, 0.0)
+            .with_chaos("flap@4500us+400us")
+            .validate();
+    }
+
+    #[test]
+    fn targeted_link_fault_on_topology_validates() {
+        Scenario::leaf_spine_incast(3, 2, 8, 0.0)
+            .with_chaos("flap@link:leaf0-spine0@4500us+400us")
+            .validate();
+        Scenario::leaf_spine_incast(3, 2, 8, 0.0)
+            .with_chaos("degrade@link:h0-leaf0@4500us:50%:1ms")
             .validate();
     }
 

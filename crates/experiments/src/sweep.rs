@@ -1231,6 +1231,50 @@ mod tests {
     }
 
     #[test]
+    fn fat_tree_sweeps_are_bit_identical_across_worker_counts() {
+        // The ISSUE's acceptance gate: the fat-tree incast preset (k=4,
+        // 16 hosts, 15:1 fan-in over ECMP-routed multi-hop paths) must
+        // produce byte-identical manifests at any worker count, conserve
+        // flowscope latency exactly on every cell, and run clean of
+        // watchdog violations.
+        let mut g = GridSpec::preset("fat-tree-incast").unwrap();
+        g.base.warmup = Nanos::from_millis(2);
+        g.base.measure = Nanos::from_millis(4);
+        let opts = |workers| SweepOptions {
+            workers,
+            telemetry: true,
+            strict_invariants: true,
+            flows: true,
+            ..SweepOptions::default()
+        };
+        let serial = run_sweep(&g, &opts(1)).unwrap();
+        let parallel = run_sweep(&g, &opts(4)).unwrap();
+        assert_eq!(serial.cells.len(), 2);
+        assert_eq!(serial.fingerprint, parallel.fingerprint);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.metrics, b.metrics, "cell {}", a.key);
+            let fa = a.flowscope.as_ref().expect("flows was on");
+            assert_eq!(
+                fa.fingerprint(),
+                b.flowscope.as_ref().unwrap().fingerprint(),
+                "cell {}",
+                a.key
+            );
+            assert!(fa.conservation_holds(), "cell {}", a.key);
+            assert_eq!(fa.orphan_stamps, 0, "cell {}", a.key);
+            let t = a.telemetry.as_ref().expect("telemetry was on");
+            assert_eq!(
+                t.total_violations(),
+                0,
+                "cell {}: {:?}",
+                a.key,
+                a.telemetry_diagnostic
+            );
+        }
+    }
+
+    #[test]
     fn worker_resolution() {
         assert_eq!(resolve_workers(1, 10), 1);
         assert_eq!(resolve_workers(8, 3), 3, "capped at job count");

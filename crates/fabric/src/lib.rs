@@ -25,6 +25,7 @@ mod fq;
 mod link;
 mod packet;
 mod switch;
+mod topology;
 
 pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
 pub use fq::{Departure, FqLink};
@@ -33,3 +34,4 @@ pub use packet::{
     Arena, ArenaRef, EcnCodepoint, FlowId, Packet, PacketArena, PacketBody, PacketRef, HEADER_BYTES,
 };
 pub use switch::{EnqueueOutcome, SwitchPort, SwitchPortConfig};
+pub use topology::{derive_path_seed, Node, TopoLink, Topology, TopologyKind, TopologySpec};

@@ -102,8 +102,13 @@ impl SwitchPort {
             self.drops += 1;
             return EnqueueOutcome::Dropped;
         }
-        // DCTCP marks on the instantaneous queue occupancy at arrival.
-        let marked = self.backlog_bytes > self.config.ecn_threshold_bytes;
+        // DCTCP marks on the instantaneous arrival-queue occupancy
+        // *including the arriving packet*: the packet that pushes the
+        // queue across K is itself marked ([DCTCP, SIGCOMM'10] §3.2).
+        // Testing the pre-arrival backlog instead would let the
+        // threshold-crossing packet through unmarked and delay the
+        // congestion signal by one packet per excursion.
+        let marked = self.backlog_bytes + bytes > self.config.ecn_threshold_bytes;
         let start = now.max(self.busy_until);
         let departs = start + self.config.rate.time_for_bytes(bytes);
         self.busy_until = departs;
@@ -147,6 +152,14 @@ impl SwitchPort {
     pub fn config(&self) -> &SwitchPortConfig {
         &self.config
     }
+
+    /// Change the egress rate (chaos link-degrade on a fabric link).
+    /// Already-scheduled departures keep their times; only packets
+    /// enqueued after the change serialize at the new rate.
+    pub fn set_rate(&mut self, rate: Rate) {
+        assert!(!rate.is_zero(), "switch port rate must be positive");
+        self.config.rate = rate;
+    }
 }
 
 #[cfg(test)]
@@ -184,9 +197,11 @@ mod tests {
             }
         }
         assert!(marked_any, "expected a mark once backlog exceeded K");
-        // First packets (queue below K) were not marked: 5000/1500 → first
-        // 4 arrivals see backlog 0,1500,3000,4500 ≤ K.
-        assert!(p.marks() <= 6);
+        // Post-enqueue depths are 1500, 3000, 4500, 6000, …: the first
+        // three arrivals stay at or below K = 5000 and pass unmarked; the
+        // fourth pushes the queue to 6000 > K and every arrival from there
+        // on (packets 4..=10) is marked.
+        assert_eq!(p.marks(), 7);
         assert_eq!(p.drops(), 0);
     }
 

@@ -170,9 +170,10 @@ proptest! {
         prop_assert_eq!(p.forwarded() + p.drops(), offered as u64);
     }
 
-    /// Marks happen iff the backlog exceeded K at arrival: a port with
-    /// K = capacity never marks; a port with K = 0 marks everything that
-    /// arrives to a non-empty queue.
+    /// Marks happen iff the post-enqueue backlog exceeds K: a port with
+    /// K = capacity never marks (an accepted packet can at most fill the
+    /// buffer, never exceed it); a port with K = 0 marks every accepted
+    /// packet, including one arriving to an empty queue.
     #[test]
     fn switch_marking_boundaries(offered in 2usize..100) {
         let buffer = 1 << 20;
@@ -191,9 +192,8 @@ proptest! {
             always.enqueue(Nanos::ZERO, 1500);
         }
         prop_assert_eq!(never.marks(), 0);
-        // First packet arrives to an empty queue (backlog 0 = K), the rest
-        // are marked.
-        prop_assert_eq!(always.marks(), offered as u64 - 1);
+        // Every accepted packet pushes the instantaneous queue above K = 0.
+        prop_assert_eq!(always.marks(), offered as u64);
     }
 
     /// Plain Link: arrival times are monotone and spaced by serialization.

@@ -11,6 +11,12 @@ use core::ops::{Add, Div, Mul, Sub};
 
 use crate::Nanos;
 
+/// Fixed-point scale for the exact serialization path: rates are snapped
+/// to integer multiples of 2⁻²⁴ bytes/ns (≈ 0.48 bit/µs granularity, far
+/// below anything the paper sweeps). Every integer-Gbps rate lands on the
+/// grid exactly: `g` Gbps = `g/8` B/ns = `g·2²¹` ticks, with no rounding.
+const FIXED_SHIFT: u32 = 24;
+
 /// A data rate, stored as bytes per nanosecond (numerically equal to GB/s).
 #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Rate(f64);
@@ -61,7 +67,24 @@ impl Rate {
         self.0 * dt.as_nanos() as f64
     }
 
+    /// The rate as an exact fixed-point tick count (units of 2⁻²⁴ B/ns),
+    /// with pinned round-half-away-from-zero conversion. The conversion is
+    /// lossless for every rate whose bytes/ns is a multiple of 2⁻²⁴ —
+    /// in particular all integer-Gbps link rates.
+    #[inline]
+    fn fixed_ticks(self) -> u128 {
+        (self.0 * (1u64 << FIXED_SHIFT) as f64).round() as u128
+    }
+
     /// Time to transfer `bytes` at this rate, rounded up to whole ns.
+    ///
+    /// Computed in exact integer arithmetic over the fixed-point rate:
+    /// `ceil(bytes·2²⁴ / ticks)` with a u128 ceiling division, never
+    /// through an f64 quotient. An f64 path can land on either side of an
+    /// exact integer (e.g. a degraded `100·0.7` Gbps rate), flipping the
+    /// ceil by a whole nanosecond; the integer path makes serialization
+    /// times a pure function of the snapped rate, so they are reproducible
+    /// bit-for-bit across platforms and optimization levels.
     ///
     /// Returns [`Nanos::MAX`] for a zero rate.
     #[inline]
@@ -69,7 +92,12 @@ impl Rate {
         if self.0 <= 0.0 {
             return Nanos::MAX;
         }
-        Nanos::from_nanos((bytes as f64 / self.0).ceil() as u64)
+        let ticks = self.fixed_ticks();
+        if ticks == 0 {
+            return Nanos::MAX;
+        }
+        let num = (bytes as u128) << FIXED_SHIFT;
+        Nanos::from_nanos(num.div_ceil(ticks) as u64)
     }
 
     /// True when the rate is exactly zero (or negative, which we clamp).
@@ -181,6 +209,21 @@ mod tests {
     fn zero_rate_never_finishes() {
         assert_eq!(Rate::ZERO.time_for_bytes(1), Nanos::MAX);
         assert!(Rate::ZERO.is_zero());
+    }
+
+    #[test]
+    fn degraded_rate_serialization_is_exact() {
+        // 100.0 * 0.58 is 57.99999999999999 in f64, so the old f64
+        // quotient path computed 58 B / 7.249999999999999 B/ns =
+        // 8.000000000000002 ns and ceiled it to 9 ns. Snapping to the
+        // fixed-point grid recovers the exact 58 Gbps rate: 8 ns.
+        let r = Rate::gbps(100.0 * 0.58);
+        assert_eq!(r.time_for_bytes(58), Nanos::from_nanos(8));
+        // And the flagship pinned value survives the snap untouched.
+        assert_eq!(
+            Rate::gbps(100.0).time_for_bytes(4096),
+            Nanos::from_nanos(328)
+        );
     }
 
     #[test]

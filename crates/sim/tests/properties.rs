@@ -160,16 +160,30 @@ proptest! {
         prop_assert!((r2.as_gbps() - g).abs() < 1e-9);
     }
 
-    /// time_for_bytes is the inverse of bytes_in, up to 1 ns rounding.
+    /// time_for_bytes is the inverse of bytes_in, up to 1 ns rounding plus
+    /// the 2⁻²⁴ B/ns fixed-point snap of the serialization path.
     #[test]
     fn rate_inverse(g in 0.1f64..1000.0, bytes in 1u64..10_000_000) {
         let r = Rate::gbps(g);
         let t = r.time_for_bytes(bytes);
         let sent = r.bytes_in(t);
-        // Rounding up a partial nanosecond never sends more than one extra ns
-        // worth of bytes, and never less than requested.
-        prop_assert!(sent + 1e-6 >= bytes as f64);
-        prop_assert!(sent <= bytes as f64 + r.as_bytes_per_ns() + 1e-6);
+        // Rounding up a partial nanosecond never sends more than one extra
+        // ns worth of bytes, and never less than requested — up to the snap
+        // error (half a tick per nanosecond of transfer) for rates that are
+        // not exactly on the fixed-point grid.
+        let snap = t.as_nanos() as f64 * 0.5 / (1u64 << 24) as f64;
+        prop_assert!(sent + snap + 1e-6 >= bytes as f64);
+        prop_assert!(sent <= bytes as f64 + r.as_bytes_per_ns() + snap + 1e-6);
+    }
+
+    /// Serialization times are *exact* for every standard (integer-Gbps)
+    /// rate and MTU-range payload: `time_for_bytes` equals `ceil(8·bytes/g)`
+    /// computed in pure integer arithmetic, never off by an f64 ulp.
+    #[test]
+    fn rate_serialize_time_is_exact(g in 1u64..=400, bytes in 1u64..=16_384) {
+        let r = Rate::gbps(g as f64);
+        let exact = (8 * bytes).div_ceil(g);
+        prop_assert_eq!(r.time_for_bytes(bytes), Nanos::from_nanos(exact));
     }
 
     /// RNG `below` is always within its bound and `range` inclusive.

@@ -9,7 +9,9 @@
 //!   a configurable congestion degree (the host model implements its
 //!   mechanics; this is the knob).
 //!
-//! Plus the Fig 13 incast shape ([`IncastSpec`]).
+//! Plus the collective traffic shapes: the Fig 13 incast ([`IncastSpec`])
+//! and a ring-all-reduce rotation ([`RingAllReduceSpec`]), selected per
+//! scenario via [`TrafficPattern`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,4 +20,6 @@ mod rpc;
 mod specs;
 
 pub use rpc::{RpcClient, RpcConfig, RpcSample};
-pub use specs::{IncastSpec, MAppSpec, NetAppT, PAPER_RPC_SIZES};
+pub use specs::{
+    IncastSpec, MAppSpec, NetAppT, RingAllReduceSpec, TrafficPattern, PAPER_RPC_SIZES,
+};
