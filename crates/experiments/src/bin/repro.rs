@@ -14,6 +14,8 @@
 //! repro chaos [--quick] [--workers N] [--strict-invariants] [--out DIR]
 //!       [--preset NAME | NAME|SPEC ...]
 //! repro chaos --list
+//! repro matchup [--quick] [--workers N] [--out DIR] [--preset NAME]
+//! repro matchup --list
 //! repro bench [--suite NAME] [--warmup N] [--iters N] [--out PATH]
 //!       [--compare BASELINE.json] [--current PATH] [--threshold PCT]
 //!       [--alloc-threshold PCT]
@@ -68,6 +70,18 @@
 //! watchdog violation outside an annotated fault window (with
 //! `--strict-invariants`, any violation at all).
 //!
+//! `repro matchup` runs the CC zoo head-to-head: a preset catalog of
+//! evaluation contexts (incast dumbbell, fat-tree incast, chaos flap)
+//! crossed with every congestion-control kind — including DCQCN,
+//! bbr-lite and heterogeneous per-flow mixes — and hostCC off/on, on
+//! the deterministic sweep engine. Each cell is scored with aggregate
+//! and worst-flow goodput, Jain's fairness index, convergence time,
+//! retransmits and the worst RPC P99; the arms are ranked into a
+//! leaderboard by fairness-weighted goodput (mean Jain x mean goodput).
+//! `--out DIR` writes `matchup.json` (`hostcc-matchup/v1`, FNV
+//! fingerprint, byte-identical at any `--workers` count),
+//! `leaderboard.md` and `leaderboard.csv`.
+//!
 //! `repro bench` runs a named workload suite (`repro bench --list`) with
 //! per-subsystem wall-clock attribution and writes the trajectory file
 //! `BENCH_<git-short-sha>.json` to the current directory (or `--out PATH`).
@@ -89,7 +103,8 @@ use std::process::ExitCode;
 use hostcc_chaos::ChaosTimeline;
 use hostcc_experiments::bench::{self, BenchOptions};
 use hostcc_experiments::figures::{self, Budget, FigureReport};
-use hostcc_experiments::grid::GridSpec;
+use hostcc_experiments::grid::{self, GridSpec};
+use hostcc_experiments::matchup::{self, run_matchup};
 use hostcc_experiments::resilience::run_chaos;
 use hostcc_experiments::sweep::{run_sweep, SweepOptions};
 use hostcc_experiments::{known_metrics, unknown_telemetry_prefixes, Scenario, Simulation};
@@ -155,6 +170,7 @@ fn usage() -> ExitCode {
     eprintln!("       repro flows [--quick] [--scenario NAME] [--out DIR]");
     eprintln!("       repro sweep [--quick] [--workers N] [--out DIR] <preset | axis=v1,v2 ...>");
     eprintln!("       repro chaos [--quick] [--workers N] [--out DIR] [--preset NAME | SPEC ...]");
+    eprintln!("       repro matchup [--quick] [--workers N] [--out DIR] [--preset NAME]");
     eprintln!(
         "       repro bench [--suite NAME] [--warmup N] [--iters N] [--out PATH] \
          [--compare BASELINE.json] [--current PATH] [--threshold PCT] \
@@ -360,7 +376,7 @@ fn build_spec(positionals: &[String]) -> Result<GridSpec, String> {
                     "unknown preset '{arg}'\nvalid presets: {}",
                     GridSpec::presets()
                         .iter()
-                        .map(|(n, _)| *n)
+                        .map(|(_, n, _)| *n)
                         .collect::<Vec<_>>()
                         .join(" ")
                 )
@@ -374,6 +390,27 @@ fn build_spec(positionals: &[String]) -> Result<GridSpec, String> {
     spec.ok_or_else(|| "no grid given: pass a preset name or axis=value,... specs".to_string())
 }
 
+/// The preset catalog, grouped by family (satisfying `repro sweep --list`):
+/// every [`GridSpec`] preset under its family heading, then the matchup
+/// presets (which run via `repro matchup`) as their own family.
+fn preset_catalog() -> String {
+    let mut out = String::from("presets, by family:\n");
+    for family in GridSpec::PRESET_FAMILIES {
+        out.push_str(&format!("  [{family}]\n"));
+        for (f, name, desc) in GridSpec::presets() {
+            if f == family {
+                out.push_str(&format!("    {name:<16} {desc}\n"));
+            }
+        }
+    }
+    out.push_str("  [matchup]  (run with `repro matchup --preset NAME`)\n");
+    for (name, desc) in matchup::presets() {
+        out.push_str(&format!("    {name:<16} {desc}\n"));
+    }
+    out.push_str(&format!("axes: {}\n", grid::AXIS_NAMES));
+    out
+}
+
 fn sweep_usage() -> ExitCode {
     eprintln!(
         "usage: repro sweep [--quick] [--workers N] [--out DIR] [--no-trace] \
@@ -381,14 +418,7 @@ fn sweep_usage() -> ExitCode {
          <preset | axis=v1,v2 ...>"
     );
     eprintln!("       repro sweep --list");
-    eprintln!("presets:");
-    for (name, desc) in GridSpec::presets() {
-        eprintln!("  {name:<12} {desc}");
-    }
-    eprintln!(
-        "axes: ddio hostcc bt it level cc degree flows incast topology racks \
-         hosts_per_rack mtu ecn_kb drop chaos seed"
-    );
+    eprint!("{}", preset_catalog());
     ExitCode::FAILURE
 }
 
@@ -437,14 +467,7 @@ fn sweep_main(args: &[String]) -> ExitCode {
                 }
             }
             "--list" => {
-                println!("presets:");
-                for (name, desc) in GridSpec::presets() {
-                    println!("  {name:<12} {desc}");
-                }
-                println!(
-                    "axes: ddio hostcc bt it level cc degree flows incast topology racks \
-                     hosts_per_rack mtu ecn_kb drop chaos seed"
-                );
+                print!("{}", preset_catalog());
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => return sweep_usage(),
@@ -706,6 +729,103 @@ fn chaos_main(args: &[String]) -> ExitCode {
     }
 }
 
+fn matchup_usage() -> ExitCode {
+    eprintln!("usage: repro matchup [--quick] [--workers N] [--out DIR] [--preset NAME]");
+    eprintln!("       repro matchup --list");
+    eprintln!("presets:");
+    for (name, desc) in matchup::presets() {
+        eprintln!("  {name:<10} {desc}");
+    }
+    ExitCode::FAILURE
+}
+
+fn matchup_main(args: &[String]) -> ExitCode {
+    let mut budget = Budget::standard();
+    let mut budget_label = "standard";
+    let mut workers = 0usize;
+    let mut preset = "standard".to_string();
+    let mut out_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                budget = Budget::quick();
+                budget_label = "quick";
+            }
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => workers = n,
+                    None => {
+                        eprintln!("--workers needs a number (0 = one per core)");
+                        return matchup_usage();
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = Some(dir.clone()),
+                    None => return matchup_usage(),
+                }
+            }
+            "--preset" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => preset = name.clone(),
+                    None => return matchup_usage(),
+                }
+            }
+            "--list" => {
+                println!("presets:");
+                for (name, desc) in matchup::presets() {
+                    println!("  {name:<10} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return matchup_usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                return matchup_usage();
+            }
+            positional => preset = positional.to_string(),
+        }
+        i += 1;
+    }
+    let report = match run_matchup(&preset, &budget, budget_label, workers) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("matchup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    println!(
+        "{} cells, fingerprint {:#018x}",
+        report.cells.len(),
+        report.fingerprint()
+    );
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for (file, contents) in [
+            ("matchup.json", report.to_json()),
+            ("leaderboard.md", report.leaderboard_markdown()),
+            ("leaderboard.csv", report.leaderboard_csv()),
+        ] {
+            let path = format!("{dir}/{file}");
+            if let Err(e) = std::fs::write(&path, &contents) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("[wrote {path}: {} bytes]", contents.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn bench_usage() -> ExitCode {
     eprintln!(
         "usage: repro bench [--suite NAME] [--warmup N] [--iters N] [--out PATH] \
@@ -940,6 +1060,9 @@ fn main() -> ExitCode {
     }
     if raw.first().map(String::as_str) == Some("bench") {
         return bench_main(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("matchup") {
+        return matchup_main(&raw[1..]);
     }
     let mut budget = Budget::standard();
     let mut targets: Vec<String> = Vec::new();

@@ -18,11 +18,16 @@ use hostcc_fabric::{TopologyKind, TopologySpec};
 use hostcc_sim::Rate;
 use hostcc_workloads::{IncastSpec, TrafficPattern};
 
-use crate::scenario::{CcKind, Scenario};
+use crate::scenario::{CcSel, Scenario};
 
 /// Hard cap on the number of cells one grid may expand to — a typo guard
 /// (`seed=1..`), not a capacity limit.
 pub const MAX_CELLS: usize = 65_536;
+
+/// Every grid axis name, in canonical order — the single source of truth
+/// quoted by the unknown-axis error here and by the CLI usage text.
+pub const AXIS_NAMES: &str = "ddio hostcc bt it level cc degree flows incast topology racks \
+hosts_per_rack mtu ecn_kb drop chaos seed";
 
 /// Derive the RNG seed of one grid cell from the sweep's base seed and the
 /// cell's canonical parameter key (e.g. `"ddio=off hostcc=on degree=3"`).
@@ -110,8 +115,9 @@ pub struct GridSpec {
     /// Fixed MBA response level 0–4 (conflicts with hostCC, which would
     /// steer the level away).
     pub mba_level: Vec<u8>,
-    /// Congestion-control protocol.
-    pub cc: Vec<CcKind>,
+    /// Congestion-control selection per cell: a single protocol or a
+    /// heterogeneous per-flow mix (`dctcp:4+cubic:4`).
+    pub cc: Vec<CcSel>,
     /// MApp congestion degree at the receiver (the paper's 0–3×).
     pub degree: Vec<f64>,
     /// Greedy flows on a single sender (resets the base to one sender).
@@ -186,47 +192,116 @@ impl GridSpec {
         }
     }
 
-    /// The named grid presets: `(name, description)`, in listing order.
-    /// Every scenario target and throughput figure of the paper's
-    /// evaluation appears here; `GridSpec::preset` resolves each name.
-    pub fn presets() -> &'static [(&'static str, &'static str)] {
+    /// The preset families of [`GridSpec::presets`], in listing order.
+    /// `repro sweep --list` groups its catalog by these names; the
+    /// matchup presets (`repro matchup`) form their own family on top.
+    pub const PRESET_FAMILIES: &'static [&'static str] =
+        &["scenario", "figure", "fault", "chaos", "topology"];
+
+    /// The named grid presets: `(family, name, description)`, in listing
+    /// order. Every scenario target and throughput figure of the paper's
+    /// evaluation appears here; `GridSpec::preset` resolves each name and
+    /// every family is one of [`GridSpec::PRESET_FAMILIES`].
+    pub fn presets() -> &'static [(&'static str, &'static str, &'static str)] {
         &[
-            ("baseline", "1 cell: the paper's uncongested baseline"),
-            ("congested", "1 cell: 3x MApp congestion, no hostCC"),
-            ("hostcc", "1 cell: 3x MApp congestion + hostCC"),
-            ("incast", "1 cell: 8-flow incast + 3x congestion + hostCC"),
-            ("fig2", "8 cells: ddio x degree, vanilla DCTCP (Fig 2)"),
-            ("fig3-mtu", "6 cells: ddio x MTU at 3x (Fig 3 left)"),
-            ("fig3-flows", "6 cells: ddio x flows at 3x (Fig 3 right)"),
-            ("fig9", "10 cells: ddio x fixed MBA level 0-4 (Fig 9)"),
-            ("fig10", "8 cells: hostcc x degree, DDIO off (Fig 10)"),
-            ("fig11-mtu", "6 cells: hostcc x MTU at 3x (Fig 11 left)"),
             (
+                "scenario",
+                "baseline",
+                "1 cell: the paper's uncongested baseline",
+            ),
+            (
+                "scenario",
+                "congested",
+                "1 cell: 3x MApp congestion, no hostCC",
+            ),
+            ("scenario", "hostcc", "1 cell: 3x MApp congestion + hostCC"),
+            (
+                "scenario",
+                "incast",
+                "1 cell: 8-flow incast + 3x congestion + hostCC",
+            ),
+            (
+                "figure",
+                "fig2",
+                "8 cells: ddio x degree, vanilla DCTCP (Fig 2)",
+            ),
+            (
+                "figure",
+                "fig3-mtu",
+                "6 cells: ddio x MTU at 3x (Fig 3 left)",
+            ),
+            (
+                "figure",
+                "fig3-flows",
+                "6 cells: ddio x flows at 3x (Fig 3 right)",
+            ),
+            (
+                "figure",
+                "fig9",
+                "10 cells: ddio x fixed MBA level 0-4 (Fig 9)",
+            ),
+            (
+                "figure",
+                "fig10",
+                "8 cells: hostcc x degree, DDIO off (Fig 10)",
+            ),
+            (
+                "figure",
+                "fig11-mtu",
+                "6 cells: hostcc x MTU at 3x (Fig 11 left)",
+            ),
+            (
+                "figure",
                 "fig11-flows",
                 "6 cells: hostcc x flows at 3x (Fig 11 right)",
             ),
             (
+                "figure",
                 "fig13a",
                 "8 cells: hostcc x incast, no host congestion (Fig 13a)",
             ),
-            ("fig13b", "8 cells: hostcc x incast at 3x (Fig 13b)"),
-            ("fig14", "8 cells: hostcc x degree, DDIO on (Fig 14)"),
-            ("fig16", "10 cells: B_T 10-100 Gbps at 3x + hostCC (Fig 16)"),
-            ("fig17", "5 cells: I_T 70-90 at 3x + hostCC (Fig 17)"),
             (
+                "figure",
+                "fig13b",
+                "8 cells: hostcc x incast at 3x (Fig 13b)",
+            ),
+            (
+                "figure",
+                "fig14",
+                "8 cells: hostcc x degree, DDIO on (Fig 14)",
+            ),
+            (
+                "figure",
+                "fig16",
+                "10 cells: B_T 10-100 Gbps at 3x + hostCC (Fig 16)",
+            ),
+            (
+                "figure",
+                "fig17",
+                "5 cells: I_T 70-90 at 3x + hostCC (Fig 17)",
+            ),
+            (
+                "figure",
                 "figure-grid",
                 "16 cells: ddio x hostcc x degree (Fig 2+10+14 superset)",
             ),
-            ("faults", "8 cells: hostcc x link drop probability at 3x"),
             (
+                "fault",
+                "faults",
+                "8 cells: hostcc x link drop probability at 3x",
+            ),
+            (
+                "chaos",
                 "chaos",
                 "8 cells: hostcc x chaos timeline (off/flap/brownout/burst-loss) at 3x",
             ),
             (
+                "topology",
                 "leaf-spine",
                 "4 cells: hostcc x racks on a leaf-spine incast at 3x",
             ),
             (
+                "topology",
                 "fat-tree-incast",
                 "2 cells: hostcc on/off on a k=4 fat-tree 15:1 incast at 3x",
             ),
@@ -381,13 +456,7 @@ impl GridSpec {
             "bt" => split(values, str::parse::<f64>).map(|v| self.bt_gbps = v),
             "it" => split(values, str::parse::<f64>).map(|v| self.it = v),
             "level" => split(values, str::parse::<u8>).map(|v| self.mba_level = v),
-            "cc" => split(values, |v| {
-                CcKind::parse(v).ok_or_else(|| {
-                    let all: Vec<_> = CcKind::ALL.iter().map(|k| k.name()).collect();
-                    format!("unknown protocol (known: {})", all.join(", "))
-                })
-            })
-            .map(|v| self.cc = v),
+            "cc" => split(values, CcSel::parse).map(|v| self.cc = v),
             "degree" => split(values, str::parse::<f64>).map(|v| self.degree = v),
             "flows" => split(values, str::parse::<u32>).map(|v| self.flows = v),
             "incast" => split(values, str::parse::<u32>).map(|v| self.incast = v),
@@ -415,12 +484,7 @@ impl GridSpec {
             })
             .map(|v| self.chaos = v),
             "seed" => split(values, str::parse::<u64>).map(|v| self.seed = v),
-            _ => {
-                return Err(format!(
-                    "unknown axis '{axis}' (known: ddio hostcc bt it level cc degree \
-                     flows incast topology racks hosts_per_rack mtu ecn_kb drop chaos seed)"
-                ))
-            }
+            _ => return Err(format!("unknown axis '{axis}' (known: {AXIS_NAMES})")),
         };
         result.map_err(|e| format!("axis '{axis}': {e}"))
     }
@@ -514,9 +578,12 @@ impl GridSpec {
             "cc",
             self.cc
                 .iter()
-                .map(|&k| {
-                    let f: Box<dyn Fn(&mut Scenario)> = Box::new(move |s: &mut Scenario| s.cc = k);
-                    (k.name().to_string(), f)
+                .map(|sel| {
+                    let sel = sel.clone();
+                    let label = sel.label();
+                    let f: Box<dyn Fn(&mut Scenario)> =
+                        Box::new(move |s: &mut Scenario| sel.apply(s));
+                    (label, f)
                 })
                 .collect(),
         );
@@ -771,7 +838,7 @@ mod tests {
 
     #[test]
     fn presets_all_resolve_and_expand() {
-        for &(name, _) in GridSpec::presets() {
+        for &(_, name, _) in GridSpec::presets() {
             let spec = GridSpec::preset(name).unwrap_or_else(|| panic!("preset {name}"));
             let cells = spec.expand().unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(cells.len(), spec.cell_count(), "{name}");
@@ -780,6 +847,30 @@ mod tests {
             }
         }
         assert!(GridSpec::preset("nope").is_none());
+    }
+
+    #[test]
+    fn preset_family_vocabulary_is_pinned() {
+        // `repro sweep --list` groups by these families; renaming or adding
+        // one must update the pinned vocabulary (and the docs) on purpose.
+        assert_eq!(
+            GridSpec::PRESET_FAMILIES,
+            ["scenario", "figure", "fault", "chaos", "topology"]
+        );
+        for &(family, name, _) in GridSpec::presets() {
+            assert!(
+                GridSpec::PRESET_FAMILIES.contains(&family),
+                "preset '{name}' has unlisted family '{family}'"
+            );
+        }
+        // Every family owns at least one preset, in listing order.
+        let mut seen: Vec<&str> = Vec::new();
+        for &(family, _, _) in GridSpec::presets() {
+            if seen.last() != Some(&family) {
+                seen.push(family);
+            }
+        }
+        assert_eq!(seen, GridSpec::PRESET_FAMILIES, "listing order per family");
     }
 
     #[test]
@@ -870,10 +961,18 @@ mod tests {
         g.set_axis("hostcc", "off,on").unwrap();
         assert_eq!(g.hostcc, vec![false, true]);
         g.set_axis("cc", "dctcp,swift").unwrap();
-        assert_eq!(g.cc, vec![CcKind::Dctcp, CcKind::Swift]);
+        assert_eq!(
+            g.cc,
+            vec![
+                CcSel::Kind(crate::scenario::CcKind::Dctcp),
+                CcSel::Kind(crate::scenario::CcKind::Swift)
+            ]
+        );
         assert!(g.set_axis("bogus", "1").is_err());
         assert!(g.set_axis("mtu", "abc").is_err());
-        assert!(g.set_axis("cc", "quic").is_err());
+        let err = g.set_axis("cc", "quic").unwrap_err();
+        assert!(err.contains("dcqcn"), "{err}");
+        assert!(err.contains("bbr-lite"), "{err}");
         // An empty value list must not silently drop the axis.
         assert!(g.set_axis("degree", "").unwrap_err().contains("degree"));
         assert!(g.set_axis("hostcc", " , ").is_err());
@@ -899,6 +998,23 @@ mod tests {
         let mut g = GridSpec::new("big", Scenario::paper_baseline());
         g.seed = (0..70_000).collect();
         assert!(g.expand().is_err(), "cell cap");
+    }
+
+    #[test]
+    fn cc_mix_axis_reaches_the_scenario() {
+        let mut g = GridSpec::new("mix", Scenario::paper_baseline());
+        g.set_axis("cc", "dctcp,dctcp:4+cubic:4").unwrap();
+        let cells = g.expand().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].key, "cc=dctcp");
+        assert!(cells[0].scenario.cc_mix.is_none());
+        assert_eq!(cells[1].key, "cc=dctcp:4+cubic:4");
+        let mix = cells[1].scenario.cc_mix.as_ref().expect("mix applied");
+        assert_eq!(mix.total_flows(), 8);
+        assert_eq!(cells[1].scenario.flows_per_sender, vec![8]);
+        // Mix labels are part of the cell key, so they feed the per-cell
+        // seed derivation like any other axis value.
+        assert_ne!(cells[0].scenario.seed, cells[1].scenario.seed);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   at any worker count, aggregated into a JSON/CSV manifest.
 //! * [`resilience`] — the differential chaos harness: one fault timeline,
 //!   paired hostCC-off/on arms, scored into a `ResilienceReport`.
+//! * [`matchup`] — the CC zoo head-to-head: every congestion-control
+//!   kind (and heterogeneous per-flow mixes) crossed with hostCC off/on
+//!   across evaluation contexts, scored into a `MatchupReport`
+//!   leaderboard.
 //! * [`figures`] — `fig2()` … `fig19()`, each returning printable tables
 //!   that mirror the paper's panels (the throughput figures run on the
 //!   sweep engine).
@@ -52,6 +56,7 @@
 pub mod bench;
 pub mod figures;
 pub mod grid;
+pub mod matchup;
 pub mod resilience;
 mod result;
 mod scenario;
@@ -59,5 +64,5 @@ mod sim;
 pub mod sweep;
 
 pub use result::{RpcResult, RunResult};
-pub use scenario::{CcKind, Scenario};
+pub use scenario::{CcKind, CcMix, CcSel, Scenario};
 pub use sim::{known_metrics, unknown_telemetry_prefixes, Simulation};

@@ -20,16 +20,22 @@ pub enum CcKind {
     Swift,
     /// TIMELY-style RTT-gradient CC (paper reference \[31\]).
     Timely,
+    /// DCQCN: CNP-driven rate-based AIMD (RoCEv2's scheme).
+    Dcqcn,
+    /// BBR-class bandwidth-probe CC (ignores ECN entirely).
+    BbrLite,
 }
 
 impl CcKind {
     /// Every protocol, in the order used by grid axes and CLI listings.
-    pub const ALL: [CcKind; 5] = [
+    pub const ALL: [CcKind; 7] = [
         CcKind::Dctcp,
         CcKind::Reno,
         CcKind::Cubic,
         CcKind::Swift,
         CcKind::Timely,
+        CcKind::Dcqcn,
+        CcKind::BbrLite,
     ];
 
     /// Stable lower-case name (grid keys, CLI, manifests).
@@ -40,12 +46,153 @@ impl CcKind {
             CcKind::Cubic => "cubic",
             CcKind::Swift => "swift",
             CcKind::Timely => "timely",
+            CcKind::Dcqcn => "dcqcn",
+            CcKind::BbrLite => "bbr-lite",
         }
     }
 
     /// Parse a protocol name as printed by [`CcKind::name`].
     pub fn parse(s: &str) -> Option<CcKind> {
         CcKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// All protocol names joined for error messages — the single source
+    /// of truth every "unknown protocol" diagnostic quotes, so a new
+    /// [`CcKind`] shows up everywhere at once.
+    pub fn known_names() -> String {
+        let names: Vec<_> = CcKind::ALL.iter().map(|k| k.name()).collect();
+        names.join(", ")
+    }
+}
+
+/// A heterogeneous per-flow congestion-control assignment: ordered groups
+/// of `(kind, flow_count)`, written `dctcp:4+cubic:4`.
+///
+/// Greedy flows are assigned to groups in flow-index order — the first
+/// `n₀` flows run `kind₀`, the next `n₁` run `kind₁`, and so on; indices
+/// past the declared total wrap around, so a mix stays valid when the
+/// `flows` axis is swept independently. The canonical [`CcMix::label`] is
+/// the grid-cell key text, which keeps per-cell seed derivation purely
+/// textual.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcMix {
+    groups: Vec<(CcKind, u32)>,
+}
+
+impl CcMix {
+    /// A mix from explicit groups. Rejects empty mixes and zero counts.
+    pub fn new(groups: Vec<(CcKind, u32)>) -> Result<CcMix, String> {
+        if groups.is_empty() {
+            return Err("empty CC mix".to_string());
+        }
+        if groups.iter().any(|&(_, n)| n == 0) {
+            return Err("CC mix group with zero flows".to_string());
+        }
+        Ok(CcMix { groups })
+    }
+
+    /// Parse `name:count+name:count+…` (e.g. `dctcp:4+cubic:4`).
+    pub fn parse(s: &str) -> Result<CcMix, String> {
+        let mut groups = Vec::new();
+        for part in s.split('+') {
+            let (name, count) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad CC mix group {part:?} (want name:count)"))?;
+            let kind = CcKind::parse(name).ok_or_else(|| {
+                format!(
+                    "unknown protocol {name:?} in CC mix (known: {})",
+                    CcKind::known_names()
+                )
+            })?;
+            let n: u32 = count
+                .parse()
+                .map_err(|_| format!("bad flow count {count:?} in CC mix group {part:?}"))?;
+            groups.push((kind, n));
+        }
+        CcMix::new(groups)
+    }
+
+    /// The ordered `(kind, flow_count)` groups.
+    pub fn groups(&self) -> &[(CcKind, u32)] {
+        &self.groups
+    }
+
+    /// Total flows the mix declares.
+    pub fn total_flows(&self) -> u32 {
+        self.groups.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// The canonical `name:count+name:count` label (grid keys, reports).
+    pub fn label(&self) -> String {
+        let parts: Vec<_> = self
+            .groups
+            .iter()
+            .map(|&(k, n)| format!("{}:{n}", k.name()))
+            .collect();
+        parts.join("+")
+    }
+
+    /// The CC kind for greedy flow `idx` (flow-index order, wrapping past
+    /// the declared total).
+    pub fn kind_for_flow(&self, idx: u32) -> CcKind {
+        let mut i = idx % self.total_flows();
+        for &(kind, n) in &self.groups {
+            if i < n {
+                return kind;
+            }
+            i -= n;
+        }
+        unreachable!("idx reduced modulo total_flows")
+    }
+}
+
+/// One value of a grid's `cc` axis: a single protocol for every flow, or
+/// a heterogeneous per-flow [`CcMix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcSel {
+    /// Every flow runs one protocol.
+    Kind(CcKind),
+    /// A heterogeneous per-flow mix (e.g. `dctcp:4+cubic:4`).
+    Mix(CcMix),
+}
+
+impl From<CcKind> for CcSel {
+    fn from(k: CcKind) -> Self {
+        CcSel::Kind(k)
+    }
+}
+
+impl CcSel {
+    /// Parse an axis value: a bare protocol name, or `name:count+…` for a
+    /// mix.
+    pub fn parse(s: &str) -> Result<CcSel, String> {
+        if s.contains(':') {
+            CcMix::parse(s).map(CcSel::Mix)
+        } else {
+            CcKind::parse(s)
+                .map(CcSel::Kind)
+                .ok_or_else(|| format!("unknown protocol (known: {})", CcKind::known_names()))
+        }
+    }
+
+    /// The canonical cell-key label.
+    pub fn label(&self) -> String {
+        match self {
+            CcSel::Kind(k) => k.name().to_string(),
+            CcSel::Mix(m) => m.label(),
+        }
+    }
+
+    /// Apply this selection to a scenario (mixes also resize the flow set
+    /// via [`Scenario::with_cc_mix`]).
+    pub fn apply(&self, s: &mut Scenario) {
+        match self {
+            CcSel::Kind(k) => {
+                s.cc = *k;
+                s.cc_mix = None;
+            }
+            CcSel::Mix(m) => *s = s.clone().with_cc_mix(m.clone()),
+        }
     }
 }
 
@@ -86,8 +233,12 @@ pub struct Scenario {
     pub host: HostConfig,
     /// hostCC controller (None = vanilla network CC).
     pub hostcc: Option<HostCcConfig>,
-    /// Congestion control protocol.
+    /// Congestion control protocol (all flows, unless `cc_mix` is set —
+    /// then this is the base kind RPC flows keep).
     pub cc: CcKind,
+    /// Heterogeneous per-flow CC mix for the greedy flows (None = every
+    /// flow runs `cc`). See [`CcMix`] for assignment order.
+    pub cc_mix: Option<CcMix>,
     /// Pin the receiver's MBA to a fixed response level for the whole run
     /// (the Fig 9 actuator-efficacy sweep). Only meaningful without hostCC,
     /// which would otherwise steer the level away — `validate` rejects the
@@ -146,6 +297,7 @@ impl Scenario {
             host: HostConfig::paper_default(),
             hostcc: None,
             cc: CcKind::Dctcp,
+            cc_mix: None,
             forced_mba_level: None,
             switch: SwitchPortConfig::paper_default(),
             link_prop: Nanos::from_micros(8),
@@ -302,6 +454,37 @@ impl Scenario {
         self.rpc = Some(RpcConfig::default());
         self.rpc_clients = clients;
         self
+    }
+
+    /// Run a heterogeneous per-flow CC mix on the greedy flows. Resizes
+    /// the flow count to the mix's declared total (on one sender when no
+    /// topology redistributes them) and sets the base `cc` to the mix's
+    /// first kind, which RPC flows keep.
+    pub fn with_cc_mix(mut self, mix: CcMix) -> Self {
+        self.cc = mix.groups()[0].0;
+        if self.topology.is_none() && self.senders == 1 {
+            self.flows_per_sender = vec![mix.total_flows()];
+        }
+        self.cc_mix = Some(mix);
+        self
+    }
+
+    /// The CC label for grid keys and reports: the mix label when a mix
+    /// is set, the plain protocol name otherwise.
+    pub fn cc_label(&self) -> String {
+        match &self.cc_mix {
+            Some(mix) => mix.label(),
+            None => self.cc.name().to_string(),
+        }
+    }
+
+    /// The CC kind greedy flow `idx` runs (global flow-index order across
+    /// senders).
+    pub fn cc_for_greedy_flow(&self, idx: u32) -> CcKind {
+        match &self.cc_mix {
+            Some(mix) => mix.kind_for_flow(idx),
+            None => self.cc,
+        }
     }
 
     /// Total greedy flows.
@@ -484,5 +667,55 @@ mod tests {
     #[test]
     fn mss_accounts_headers() {
         assert_eq!(Scenario::paper_baseline().mss(), 4096 - 66);
+    }
+
+    #[test]
+    fn cc_names_round_trip() {
+        for k in CcKind::ALL {
+            assert_eq!(CcKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(CcKind::parse("quic"), None);
+        for k in CcKind::ALL {
+            assert!(CcKind::known_names().contains(k.name()));
+        }
+    }
+
+    #[test]
+    fn cc_mix_parses_and_labels_canonically() {
+        let mix = CcMix::parse("dctcp:4+cubic:4").unwrap();
+        assert_eq!(mix.label(), "dctcp:4+cubic:4");
+        assert_eq!(mix.total_flows(), 8);
+        assert_eq!(mix.kind_for_flow(0), CcKind::Dctcp);
+        assert_eq!(mix.kind_for_flow(3), CcKind::Dctcp);
+        assert_eq!(mix.kind_for_flow(4), CcKind::Cubic);
+        assert_eq!(mix.kind_for_flow(7), CcKind::Cubic);
+        // Wraps past the declared total.
+        assert_eq!(mix.kind_for_flow(8), CcKind::Dctcp);
+        assert_eq!(mix.kind_for_flow(12), CcKind::Cubic);
+    }
+
+    #[test]
+    fn cc_mix_rejects_garbage() {
+        assert!(CcMix::parse("dctcp").is_err(), "bare name is not a mix");
+        assert!(CcMix::parse("dctcp:0").is_err(), "zero-count group");
+        assert!(CcMix::parse("dctcp:x").is_err(), "non-numeric count");
+        let err = CcMix::parse("quic:4").unwrap_err();
+        assert!(
+            err.contains("bbr-lite") && err.contains("dcqcn"),
+            "error lists the full CC vocabulary: {err}"
+        );
+    }
+
+    #[test]
+    fn with_cc_mix_sizes_flows_and_base_cc() {
+        let s = Scenario::with_congestion(2.0).with_cc_mix(CcMix::parse("swift:3+reno:5").unwrap());
+        s.validate();
+        assert_eq!(s.total_greedy_flows(), 8);
+        assert_eq!(s.cc, CcKind::Swift);
+        assert_eq!(s.cc_label(), "swift:3+reno:5");
+        assert_eq!(s.cc_for_greedy_flow(2), CcKind::Swift);
+        assert_eq!(s.cc_for_greedy_flow(3), CcKind::Reno);
+        // Homogeneous scenarios label with the plain name.
+        assert_eq!(Scenario::paper_baseline().cc_label(), "dctcp");
     }
 }

@@ -26,7 +26,9 @@ use hostcc_perf::{PerfHandle, PerfScope};
 use hostcc_sim::{EventQueue, Nanos, Rate, Rng};
 use hostcc_telemetry::{Telemetry, TelemetryHandle, WatchdogInput};
 use hostcc_trace::{DropLocus, TraceCounts, TraceEvent, TraceHandle};
-use hostcc_transport::{Cubic, Dctcp, Flow, FlowConfig, FlowStats, Receiver, Reno, Swift, Timely};
+use hostcc_transport::{
+    BbrLite, Cubic, Dcqcn, Dctcp, Flow, FlowConfig, FlowStats, Receiver, Reno, Swift, Timely,
+};
 use hostcc_workloads::{RingAllReduceSpec, RpcClient, TrafficPattern};
 
 use crate::result::{RpcResult, RunResult};
@@ -294,6 +296,8 @@ fn make_cc(kind: CcKind, base_rtt: Nanos) -> Box<dyn hostcc_transport::Congestio
         // Swift target: 25% headroom over the base RTT.
         CcKind::Swift => Box::new(Swift::new(base_rtt.scale(1.25))),
         CcKind::Timely => Box::new(Timely::new(base_rtt)),
+        CcKind::Dcqcn => Box::new(Dcqcn::new()),
+        CcKind::BbrLite => Box::new(BbrLite::new()),
     }
 }
 
@@ -312,7 +316,10 @@ impl Simulation {
         for (s, &n) in cfg.flows_per_sender.iter().enumerate() {
             for _ in 0..n {
                 let id = FlowId(flows.len() as u32);
-                let mut f = Flow::new(id, flow_cfg.clone(), make_cc(cfg.cc, base_rtt));
+                // Heterogeneous mixes assign kinds in global flow-index
+                // order (first group first); homogeneous runs get cfg.cc.
+                let kind = cfg.cc_for_greedy_flow(greedy.len() as u32);
+                let mut f = Flow::new(id, flow_cfg.clone(), make_cc(kind, base_rtt));
                 f.set_greedy();
                 greedy.push(flows.len());
                 flows.push(f);
@@ -562,7 +569,14 @@ impl Simulation {
     /// frozen result.
     pub fn set_flowscope(&mut self, flowscope: FlowscopeHandle) {
         for i in 0..self.flows.len() {
-            flowscope.register_flow(i as u32, self.greedy.contains(&i));
+            // Registering with the flow's protocol name gives the frozen
+            // result per-CC-group ledger splits — how heterogeneous mixes
+            // are scored (victim vs aggressor class).
+            flowscope.register_flow_grouped(
+                i as u32,
+                self.greedy.contains(&i),
+                self.flows[i].cc_name(),
+            );
         }
         for l in &mut self.senders {
             l.set_flowscope(flowscope.clone());

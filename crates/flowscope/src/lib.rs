@@ -31,7 +31,7 @@ use std::rc::Rc;
 
 use hostcc_sim::Nanos;
 
-pub use report::{FlowTableRow, FlowscopeResult, FlowscopeSummary};
+pub use report::{FlowTableRow, FlowscopeResult, FlowscopeSummary, GroupScore};
 pub use scope::{FlowScope, Stage, STAGE_COUNT};
 
 /// Shared, cloneable access to one [`FlowScope`] — or a no-op.
@@ -90,6 +90,15 @@ impl FlowscopeHandle {
     pub fn register_flow(&self, flow: u32, greedy: bool) {
         if let Some(s) = &self.0 {
             s.borrow_mut().register_flow(flow, greedy);
+        }
+    }
+
+    /// Declare a flow with its CC-group label (the protocol name) so the
+    /// frozen result carries per-group ledger splits.
+    #[inline]
+    pub fn register_flow_grouped(&self, flow: u32, greedy: bool, group: &str) {
+        if let Some(s) = &self.0 {
+            s.borrow_mut().register_flow_grouped(flow, greedy, group);
         }
     }
 

@@ -220,6 +220,56 @@ impl FlowTableRow {
     }
 }
 
+/// Aggregate ledger for one CC group of a heterogeneous mix: the greedy
+/// flows that registered under one protocol label (see
+/// `FlowScope::register_flow_grouped`). Fairness is Jain's index *within*
+/// the group, so a starved-but-internally-fair victim class still scores
+/// high here — the cross-group comparison happens in the leaderboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupScore {
+    /// The group's protocol label (e.g. `dctcp`).
+    pub group: String,
+    /// Greedy flows in the group that sent at least one packet.
+    pub flows: u64,
+    /// Payload bytes the group delivered in the window.
+    pub delivered_bytes: u64,
+    /// Aggregate window goodput in Gbit/s.
+    pub goodput_gbps: f64,
+    /// Jain's fairness index within the group.
+    pub jain: f64,
+    /// Packets of the group dropped in the window.
+    pub drops: u64,
+    /// Retransmissions the group emitted.
+    pub retransmits: u64,
+}
+
+impl GroupScore {
+    fn fold(&self, h: &mut u64) {
+        for b in self.group.bytes() {
+            *h = (*h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        fnv1a(h, self.flows);
+        fnv1a(h, self.delivered_bytes);
+        fnv1a(h, self.jain.to_bits());
+        fnv1a(h, self.drops);
+        fnv1a(h, self.retransmits);
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"group\":\"{}\",\"flows\":{},\"delivered_bytes\":{},\
+             \"goodput_gbps\":{},\"jain\":{},\"drops\":{},\"retransmits\":{}}}",
+            self.group,
+            self.flows,
+            self.delivered_bytes,
+            jf(self.goodput_gbps),
+            jf(self.jain),
+            self.drops,
+            self.retransmits,
+        )
+    }
+}
+
 /// CSV header matching [`FlowscopeResult::flow_csv`].
 pub const FLOW_CSV_HEADER: &str = "flow,greedy,fct_ns,delivered_bytes,delivered_packets,\
 goodput_gbps,drops,ecn_host,ecn_fabric,retransmits,cwnd_last,cwnd_min,cwnd_max,cwnd_samples";
@@ -232,6 +282,9 @@ pub struct FlowscopeResult {
     pub summary: FlowscopeSummary,
     /// Per-flow rows, in flow-id order (only flows that sent).
     pub flows: Vec<FlowTableRow>,
+    /// Per-CC-group ledger splits, in group-label order (empty unless
+    /// flows registered with group labels).
+    pub groups: Vec<GroupScore>,
     /// Jain's fairness index over greedy flows' window goodput.
     pub jain: f64,
     /// Convergence instant (absolute sim time, ns), when detected.
@@ -258,6 +311,10 @@ impl FlowscopeResult {
         fnv1a(&mut h, self.flows.len() as u64);
         for row in &self.flows {
             row.fold(&mut h);
+        }
+        fnv1a(&mut h, self.groups.len() as u64);
+        for g in &self.groups {
+            g.fold(&mut h);
         }
         fnv1a(&mut h, self.jain.to_bits());
         fnv1a(&mut h, self.convergence_ns.unwrap_or(u64::MAX));
@@ -300,6 +357,7 @@ impl FlowscopeResult {
             })
             .collect();
         let flows: Vec<String> = self.flows.iter().map(FlowTableRow::to_json).collect();
+        let groups: Vec<String> = self.groups.iter().map(GroupScore::to_json).collect();
         let drops: Vec<String> = self.drops_after_stage.iter().map(u64::to_string).collect();
         format!(
             "{{\"schema\":\"hostcc-flowscope/v1\",\"fingerprint\":\"{:#018x}\",\
@@ -310,7 +368,7 @@ impl FlowscopeResult {
              \"fct_p50_ns\":{},\"fct_max_ns\":{},\
              \"ecn_host\":{},\"ecn_fabric\":{},\"retransmits\":{},\
              \"jain\":{},\"convergence_ns\":{},\
-             \"stages\":[{}],\"drops_after_stage\":[{}],\"flows\":[{}]}}\n",
+             \"stages\":[{}],\"drops_after_stage\":[{}],\"groups\":[{}],\"flows\":[{}]}}\n",
             self.fingerprint(),
             self.window.as_nanos(),
             self.summary.completed,
@@ -332,6 +390,7 @@ impl FlowscopeResult {
             jopt(self.convergence_ns),
             stages.join(","),
             drops.join(","),
+            groups.join(","),
             flows.join(","),
         )
     }
@@ -414,6 +473,12 @@ impl FlowscopeResult {
                     t as f64 / 1e6
                 )),
         ));
+        for g in &self.groups {
+            out.push_str(&format!(
+                "group {:<16} {} flow(s)  {:>8.3} Gbps  jain {:.4}  drops {}  rtx {}\n",
+                g.group, g.flows, g.goodput_gbps, g.jain, g.drops, g.retransmits,
+            ));
+        }
         out.push_str(
             "flow  greedy      fct(ms)   goodput(Gbps)      bytes  drops  ecn(h/f)  rtx   cwnd\n",
         );

@@ -1,6 +1,6 @@
 //! The recorder: per-packet lifecycle stamps and the per-flow ledger.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use hostcc_metrics::Histogram;
 use hostcc_sim::Nanos;
@@ -98,6 +98,8 @@ struct PacketLife {
 #[derive(Debug, Clone, Default)]
 struct FlowState {
     greedy: bool,
+    /// CC-group label (protocol name) for heterogeneous-mix splits.
+    group: Option<String>,
     first_sent_at: Option<Nanos>,
     last_delivered_at: Option<Nanos>,
     delivered_bytes: u64,
@@ -173,6 +175,16 @@ impl FlowScope {
     /// Declare a flow's class before the run.
     pub fn register_flow(&mut self, flow: u32, greedy: bool) {
         self.flow_mut(flow).greedy = greedy;
+    }
+
+    /// Declare a flow's class *and* its CC-group label (the protocol
+    /// name). Grouped flows additionally fold into per-group ledger
+    /// splits — goodput, fairness and loss per protocol — which is how
+    /// heterogeneous-CC mixes are scored (who starves whom).
+    pub fn register_flow_grouped(&mut self, flow: u32, greedy: bool, group: &str) {
+        let fl = self.flow_mut(flow);
+        fl.greedy = greedy;
+        fl.group = Some(group.to_string());
     }
 
     /// Open a life record (see [`FlowscopeHandle::packet_sent`]).
@@ -390,6 +402,35 @@ impl FlowScope {
                 cwnd_samples: fl.cwnd_samples,
             });
         }
+        // Per-CC-group ledger splits: greedy flows that registered with a
+        // group label, keyed by label in sorted order (deterministic).
+        let mut by_group: BTreeMap<&str, Vec<&FlowState>> = BTreeMap::new();
+        for fl in &self.flows {
+            if let Some(g) = &fl.group {
+                if fl.greedy && fl.first_sent_at.is_some() {
+                    by_group.entry(g).or_default().push(fl);
+                }
+            }
+        }
+        let groups: Vec<crate::report::GroupScore> = by_group
+            .into_iter()
+            .map(|(name, members)| {
+                let xs: Vec<f64> = members.iter().map(|f| f.delivered_bytes as f64).collect();
+                crate::report::GroupScore {
+                    group: name.to_string(),
+                    flows: members.len() as u64,
+                    delivered_bytes: members.iter().map(|f| f.delivered_bytes).sum(),
+                    goodput_gbps: if wns > 0.0 {
+                        members.iter().map(|f| f.delivered_bytes).sum::<u64>() as f64 * 8.0 / wns
+                    } else {
+                        0.0
+                    },
+                    jain: jain(&xs),
+                    drops: members.iter().map(|f| f.drops).sum(),
+                    retransmits: members.iter().map(|f| f.retransmits).sum(),
+                }
+            })
+            .collect();
         let summary = FlowscopeSummary {
             stage_hist: self.stage_hist.clone(),
             stage_total_ns: self.stage_total_ns,
@@ -407,6 +448,7 @@ impl FlowScope {
         FlowscopeResult {
             summary,
             flows,
+            groups,
             jain: self.jain_index(),
             convergence_ns: self.convergence_ns(now),
             window,
@@ -579,6 +621,56 @@ mod tests {
         solo.packet_sent(1, 0, ns(5));
         solo.delivered(1, 100, ns(6));
         assert!(solo.convergence_ns(ns(10 * b)).is_none());
+    }
+
+    #[test]
+    fn grouped_flows_split_into_per_cc_ledgers() {
+        let mut fs = FlowScope::new();
+        fs.register_flow_grouped(0, true, "dctcp");
+        fs.register_flow_grouped(1, true, "dctcp");
+        fs.register_flow_grouped(2, true, "cubic");
+        fs.register_flow(3, false); // ungrouped RPC flow: no split
+        fs.reset_window(ns(0));
+        for (id, flow, bytes) in [
+            (1u64, 0u32, 8000u64),
+            (2, 1, 8000),
+            (3, 2, 2000),
+            (4, 3, 500),
+        ] {
+            fs.packet_sent(id, flow, ns(10));
+            fs.delivered(id, bytes, ns(20));
+        }
+        fs.retransmit(2);
+        let r = fs.freeze(ns(1_000_000));
+        assert_eq!(r.groups.len(), 2, "sorted by label: cubic, dctcp");
+        assert_eq!(r.groups[0].group, "cubic");
+        assert_eq!(r.groups[0].flows, 1);
+        assert_eq!(r.groups[0].delivered_bytes, 2000);
+        assert_eq!(r.groups[0].retransmits, 1);
+        assert_eq!(r.groups[1].group, "dctcp");
+        assert_eq!(r.groups[1].flows, 2);
+        assert_eq!(r.groups[1].delivered_bytes, 16_000);
+        assert_eq!(r.groups[1].jain, 1.0, "equal split within the group");
+        // Group splits are part of the fingerprint and the JSON schema.
+        let mut ungrouped = FlowScope::new();
+        for f in 0..4 {
+            ungrouped.register_flow(f, f < 3);
+        }
+        ungrouped.reset_window(ns(0));
+        for (id, flow, bytes) in [
+            (1u64, 0u32, 8000u64),
+            (2, 1, 8000),
+            (3, 2, 2000),
+            (4, 3, 500),
+        ] {
+            ungrouped.packet_sent(id, flow, ns(10));
+            ungrouped.delivered(id, bytes, ns(20));
+        }
+        ungrouped.retransmit(2);
+        let u = ungrouped.freeze(ns(1_000_000));
+        assert!(u.groups.is_empty());
+        assert_ne!(r.fingerprint(), u.fingerprint());
+        assert!(r.to_json().contains("\"groups\":[{\"group\":\"cubic\""));
     }
 
     #[test]

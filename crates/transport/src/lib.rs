@@ -11,6 +11,12 @@
 //! * [`Swift`] and [`Timely`] — delay-based protocols in the spirit of
 //!   [Kumar et al., SIGCOMM'20] and [Mittal et al., SIGCOMM'15],
 //!   exercising hostCC's delay-signal extension (paper §6);
+//! * [`Dcqcn`] — CNP-driven rate-based AIMD per [Zhu et al., SIGCOMM'15],
+//!   the RDMA-representative scheme, riding the same ECN echo path as
+//!   DCTCP;
+//! * [`BbrLite`] — a BBR-class bandwidth-probe scheme with a gain-cycled
+//!   window that ignores ECN entirely, the adversarial case for hostCC's
+//!   transport-agnosticism claim;
 //! * [`Flow`] — the sender state machine: slow start / congestion
 //!   avoidance, NewReno-style fast recovery on 3 dup-ACKs, minimum RTO of
 //!   **200 ms** (the Linux default that dominates the paper's P99.9), and
@@ -30,16 +36,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bbr_lite;
 mod cc;
 mod cubic;
+mod dcqcn;
 mod dctcp;
 mod flow;
 mod receiver;
 mod swift;
 mod timely;
 
+pub use bbr_lite::BbrLite;
 pub use cc::{CongestionControl, Reno, Window};
 pub use cubic::Cubic;
+pub use dcqcn::Dcqcn;
 pub use dctcp::Dctcp;
 pub use flow::{Flow, FlowConfig, FlowStats};
 pub use receiver::{AckInfo, Receiver};

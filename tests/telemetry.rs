@@ -65,7 +65,7 @@ fn telemetry_fingerprints_are_bit_identical_across_worker_counts() {
 
 #[test]
 fn every_sweep_preset_is_clean_under_strict_invariants() {
-    for (name, _) in GridSpec::presets() {
+    for (_, name, _) in GridSpec::presets() {
         let mut spec = GridSpec::preset(name).expect("listed preset exists");
         spec.base.warmup = Nanos::from_micros(200);
         spec.base.measure = Nanos::from_micros(600);
